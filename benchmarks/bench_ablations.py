@@ -1,0 +1,23 @@
+"""Benchmarks: ablations on the design choices DESIGN.md calls out."""
+
+from conftest import run_and_check
+
+
+def test_abl_h_curvature_frontier(benchmark):
+    run_and_check(benchmark, "abl_h")
+
+
+def test_abl_celf_vs_plain(benchmark):
+    run_and_check(benchmark, "abl_celf")
+
+
+def test_abl_sample_stability(benchmark):
+    run_and_check(benchmark, "abl_samples")
+
+
+def test_abl_linear_threshold(benchmark):
+    run_and_check(benchmark, "abl_lt")
+
+
+def test_ext_time_discounting(benchmark):
+    run_and_check(benchmark, "ext_discount")

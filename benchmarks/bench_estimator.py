@@ -1,0 +1,84 @@
+"""Micro-benchmarks for the influence-estimation hot paths.
+
+These are the operations the greedy solvers call thousands of times;
+their cost profile is what makes paper-scale sweeps tractable:
+
+- ensemble construction (world sampling + distance tensors, once per
+  experiment);
+- full utility evaluation of a seed set (once per accepted seed);
+- a marginal-gain query (the CELF inner loop).
+"""
+
+import math
+
+import pytest
+
+from repro.datasets.synthetic import default_synthetic
+from repro.influence.ensemble import WorldEnsemble
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return default_synthetic(seed=0)
+
+
+@pytest.fixture(scope="module")
+def ensemble(dataset):
+    graph, assignment = dataset
+    return WorldEnsemble(graph, assignment, n_worlds=100, seed=1)
+
+
+def test_ensemble_construction(benchmark, dataset):
+    graph, assignment = dataset
+
+    def build():
+        return WorldEnsemble(graph, assignment, n_worlds=50, seed=2)
+
+    result = benchmark(build)
+    assert result.n_worlds == 50
+
+
+def test_state_construction_30_seeds(benchmark, ensemble):
+    seeds = ensemble.candidate_labels[:30]
+    state = benchmark(ensemble.state_for, seeds)
+    assert state.size == 30
+
+
+def test_group_utility_evaluation(benchmark, ensemble):
+    state = ensemble.state_for(ensemble.candidate_labels[:30])
+    utilities = benchmark(ensemble.group_utilities, state, 20)
+    assert utilities.sum() > 0
+
+
+def test_marginal_gain_query(benchmark, ensemble):
+    state = ensemble.state_for(ensemble.candidate_labels[:10])
+    utilities = benchmark(
+        ensemble.candidate_group_utilities, state, 450, 20
+    )
+    assert utilities.sum() >= 0
+
+
+def test_infinite_deadline_evaluation(benchmark, ensemble):
+    state = ensemble.state_for(ensemble.candidate_labels[:5])
+    total = benchmark(ensemble.total_utility, state, math.inf)
+    assert total >= 5
+
+
+def test_rr_set_sampling(benchmark, dataset):
+    """RIS substrate: sampling 2000 time-critical RR sets."""
+    from repro.influence.rrsets import sample_rr_sets
+
+    graph, _ = dataset
+    collection = benchmark(sample_rr_sets, graph, 20, 2000, 3)
+    assert collection.count == 2000
+
+
+def test_ris_greedy_p1(benchmark, dataset):
+    """RIS greedy max-cover for P1 (scalable unfair baseline)."""
+    from repro.influence.rrsets import ris_greedy, sample_rr_sets
+
+    graph, _ = dataset
+    collection = sample_rr_sets(graph, 20, 2000, seed=3)
+    seeds, estimate = benchmark(ris_greedy, collection, 10)
+    assert len(seeds) == 10
+    assert estimate > 0

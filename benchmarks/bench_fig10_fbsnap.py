@@ -1,0 +1,15 @@
+"""Benchmarks: Figure 10 — Facebook-SNAP with spectral groups."""
+
+from conftest import run_and_check
+
+
+def test_fig10a_budget_problem(benchmark):
+    run_and_check(benchmark, "fig10a")
+
+
+def test_fig10b_cover_influence(benchmark):
+    run_and_check(benchmark, "fig10b")
+
+
+def test_fig10c_cover_sizes(benchmark):
+    run_and_check(benchmark, "fig10c")

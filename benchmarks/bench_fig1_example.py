@@ -1,0 +1,11 @@
+"""Benchmark: Figure 1 — the illustrative-example table.
+
+Regenerates the optimal-P1 vs optimal-P4 comparison on the 38-node
+two-group example across deadlines tau in {2, 4, inf}.
+"""
+
+from conftest import run_and_check
+
+
+def test_fig1_illustrative_example(benchmark):
+    run_and_check(benchmark, "fig1")

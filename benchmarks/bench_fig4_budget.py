@@ -1,0 +1,19 @@
+"""Benchmarks: Figure 4 — synthetic budget-problem panels.
+
+fig4a: P1 vs P4-log vs P4-sqrt influence; fig4b: budget sweep;
+fig4c: deadline sweep disparity.
+"""
+
+from conftest import run_and_check
+
+
+def test_fig4a_influence_by_algorithm(benchmark):
+    run_and_check(benchmark, "fig4a")
+
+
+def test_fig4b_varying_budget(benchmark):
+    run_and_check(benchmark, "fig4b")
+
+
+def test_fig4c_varying_deadline(benchmark):
+    run_and_check(benchmark, "fig4c")

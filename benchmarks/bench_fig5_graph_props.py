@@ -1,0 +1,19 @@
+"""Benchmarks: Figure 5 — graph properties vs disparity (synthetic).
+
+fig5a: activation-probability sweep; fig5b: group-size ratios;
+fig5c: inter/intra connectivity ratios.
+"""
+
+from conftest import run_and_check
+
+
+def test_fig5a_activation_probability(benchmark):
+    run_and_check(benchmark, "fig5a")
+
+
+def test_fig5b_group_sizes(benchmark):
+    run_and_check(benchmark, "fig5b")
+
+
+def test_fig5c_cliquishness(benchmark):
+    run_and_check(benchmark, "fig5c")

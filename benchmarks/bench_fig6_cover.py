@@ -1,0 +1,19 @@
+"""Benchmarks: Figure 6 — synthetic cover-problem panels.
+
+fig6a: greedy iteration trajectories; fig6b: group influence per quota;
+fig6c: seed-set sizes per quota.
+"""
+
+from conftest import run_and_check
+
+
+def test_fig6a_greedy_iterations(benchmark):
+    run_and_check(benchmark, "fig6a")
+
+
+def test_fig6b_quota_influence(benchmark):
+    run_and_check(benchmark, "fig6b")
+
+
+def test_fig6c_quota_sizes(benchmark):
+    run_and_check(benchmark, "fig6c")

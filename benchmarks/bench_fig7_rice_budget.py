@@ -1,0 +1,15 @@
+"""Benchmarks: Figure 7 — Rice-Facebook budget-problem panels."""
+
+from conftest import run_and_check
+
+
+def test_fig7a_influence_by_algorithm(benchmark):
+    run_and_check(benchmark, "fig7a")
+
+
+def test_fig7b_varying_budget(benchmark):
+    run_and_check(benchmark, "fig7b")
+
+
+def test_fig7c_varying_deadline(benchmark):
+    run_and_check(benchmark, "fig7c")

@@ -1,0 +1,15 @@
+"""Benchmarks: Figure 8 — Rice-Facebook cover-problem panels."""
+
+from conftest import run_and_check
+
+
+def test_fig8a_greedy_iterations(benchmark):
+    run_and_check(benchmark, "fig8a")
+
+
+def test_fig8b_quota_influence(benchmark):
+    run_and_check(benchmark, "fig8b")
+
+
+def test_fig8c_quota_sizes(benchmark):
+    run_and_check(benchmark, "fig8c")

@@ -1,0 +1,15 @@
+"""Benchmarks: Figure 9 — Instagram-Activities (scaled surrogate)."""
+
+from conftest import run_and_check
+
+
+def test_fig9a_budget_problem(benchmark):
+    run_and_check(benchmark, "fig9a")
+
+
+def test_fig9b_cover_influence(benchmark):
+    run_and_check(benchmark, "fig9b")
+
+
+def test_fig9c_cover_sizes(benchmark):
+    run_and_check(benchmark, "fig9c")

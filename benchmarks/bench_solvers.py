@@ -1,0 +1,57 @@
+"""Micro-benchmarks for the greedy solvers (CELF vs plain greedy).
+
+Quantifies the CELF speedup DESIGN.md claims and times the four paper
+solvers end-to-end on the default synthetic dataset.
+"""
+
+import pytest
+
+from repro.datasets.synthetic import DEFAULT_DEADLINE, default_synthetic
+from repro.influence.ensemble import WorldEnsemble
+from repro.core.budget import solve_fair_tcim_budget, solve_tcim_budget
+from repro.core.cover import solve_fair_tcim_cover, solve_tcim_cover
+from repro.core.concave import log1p
+from repro.core.greedy import lazy_greedy, plain_greedy
+from repro.core.objectives import TotalInfluenceObjective
+
+
+@pytest.fixture(scope="module")
+def ensemble():
+    graph, assignment = default_synthetic(seed=0)
+    return WorldEnsemble(graph, assignment, n_worlds=60, seed=1)
+
+
+def test_solve_p1_budget(benchmark, ensemble):
+    solution = benchmark(solve_tcim_budget, ensemble, 30, DEFAULT_DEADLINE)
+    assert len(solution.seeds) == 30
+
+
+def test_solve_p4_budget_log(benchmark, ensemble):
+    solution = benchmark(
+        solve_fair_tcim_budget, ensemble, 30, DEFAULT_DEADLINE, log1p
+    )
+    assert len(solution.seeds) == 30
+
+
+def test_solve_p2_cover(benchmark, ensemble):
+    solution = benchmark(solve_tcim_cover, ensemble, 0.2, DEFAULT_DEADLINE)
+    assert solution.report.population_fraction >= 0.2 - 1e-9
+
+
+def test_solve_p6_cover(benchmark, ensemble):
+    solution = benchmark(solve_fair_tcim_cover, ensemble, 0.2, DEFAULT_DEADLINE)
+    assert (solution.report.fraction_influenced >= 0.2 - 1e-6).all()
+
+
+def test_celf_engine(benchmark, ensemble):
+    trace = benchmark(
+        lazy_greedy, ensemble, TotalInfluenceObjective(), DEFAULT_DEADLINE, 15
+    )
+    assert trace.size == 15
+
+
+def test_plain_engine(benchmark, ensemble):
+    trace = benchmark(
+        plain_greedy, ensemble, TotalInfluenceObjective(), DEFAULT_DEADLINE, 15
+    )
+    assert trace.size == 15

@@ -1,0 +1,11 @@
+"""Benchmarks: Theorems 1 and 2 measured on exactly solvable instances."""
+
+from conftest import run_and_check
+
+
+def test_thm1_budget_guarantee(benchmark):
+    run_and_check(benchmark, "thm1")
+
+
+def test_thm2_cover_guarantee(benchmark):
+    run_and_check(benchmark, "thm2")

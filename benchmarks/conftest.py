@@ -1,0 +1,29 @@
+"""Benchmark helpers.
+
+Every per-figure benchmark runs its experiment once (pedantic mode: the
+workloads are seconds-long, so statistical repetition would waste the
+budget), records the wall time, and asserts the experiment's shape
+checks — the qualitative claims of the paper — still hold.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+
+def run_and_check(benchmark, experiment_id: str, seed: int = 0):
+    """Benchmark one experiment (quick scale) and enforce its checks."""
+    result = benchmark.pedantic(
+        run_experiment,
+        args=(experiment_id,),
+        kwargs={"quick": True, "seed": seed},
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    failing = [c for c in result.shape_checks if not c.passed]
+    assert not failing, "; ".join(c.as_text() for c in failing)
+    assert result.rows, f"{experiment_id} produced no rows"
+    return result

@@ -1,0 +1,82 @@
+"""Scenario: auditing an existing seeding strategy for group fairness.
+
+Not every team can change its seed-selection pipeline overnight; a
+useful first step is *measuring* how unfair the current strategy is.
+This script plays the auditor: given any seed set (here: top-PageRank
+seeding, a common industry heuristic), it
+
+1. estimates per-group time-critical utilities with two independent
+   estimators (the fast world ensemble and plain Monte Carlo) to show
+   the measurement is robust,
+2. reports the Eq.-2 disparity and the worst-served group across
+   deadlines, and
+3. quantifies how much better the paper's fair solver would do with
+   the same budget.
+
+Run:  python examples/audit_campaign_fairness.py
+"""
+
+import math
+
+from repro import (
+    WorldEnsemble,
+    log1p,
+    monte_carlo_group_utilities,
+    solve_fair_tcim_budget,
+)
+from repro.baselines import pagerank_seeds
+from repro.datasets.synthetic import default_synthetic
+from repro.influence.utility import disparity, normalized_utilities
+
+BUDGET = 20
+DEADLINE = 10
+
+
+def main() -> None:
+    graph, groups = default_synthetic(seed=0)
+    current_seeds = pagerank_seeds(graph, BUDGET)
+    print(f"auditing a top-PageRank campaign of {BUDGET} seeds "
+          f"on {graph}\n")
+
+    # --- measurement, two independent estimators -----------------------
+    ensemble = WorldEnsemble(graph, groups, n_worlds=300, seed=1)
+    state = ensemble.state_for(current_seeds)
+    ensemble_fracs = ensemble.normalized_group_utilities(state, DEADLINE)
+
+    mc = monte_carlo_group_utilities(
+        graph, groups, current_seeds, DEADLINE, n_samples=300, seed=2
+    )
+    mc_fracs = normalized_utilities(
+        [mc[g] for g in groups.groups], groups.sizes()
+    )
+
+    print(f"{'group':>8} {'ensemble':>10} {'monte carlo':>12}")
+    for g, a, b in zip(groups.groups, ensemble_fracs, mc_fracs):
+        print(f"{str(g):>8} {a:10.3f} {b:12.3f}")
+    print(f"\nEq.-2 disparity at tau={DEADLINE}: "
+          f"{disparity(ensemble_fracs):.3f} (ensemble) / "
+          f"{disparity(mc_fracs):.3f} (monte carlo)")
+
+    # --- disparity across deadlines ------------------------------------
+    print(f"\n{'tau':>6} {'disparity':>10} {'worst-served group':>20}")
+    for tau in (1, 2, 5, 10, math.inf):
+        fracs = ensemble.normalized_group_utilities(state, tau)
+        worst = groups.groups[int(fracs.argmin())]
+        label = "inf" if math.isinf(tau) else f"{tau:g}"
+        print(f"{label:>6} {disparity(fracs):10.3f} {str(worst):>20}")
+
+    # --- what the fair solver would achieve with the same budget -------
+    fair = solve_fair_tcim_budget(
+        ensemble, budget=BUDGET, deadline=DEADLINE, concave=log1p
+    )
+    print(
+        f"\nwith the same budget, FAIRTCIM-BUDGET achieves disparity "
+        f"{fair.report.disparity:.3f} and total reach "
+        f"{fair.report.population_fraction:.3f} "
+        f"(audit target: {disparity(ensemble_fracs):.3f} / "
+        f"{float(ensemble_fracs @ groups.sizes()) / groups.sizes().sum():.3f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

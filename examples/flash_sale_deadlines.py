@@ -1,0 +1,81 @@
+"""Scenario: viral marketing of a flash sale with a shrinking deadline.
+
+A retailer promotes a limited-time discount (the paper's viral-
+marketing motivation): the shorter the sale window ``tau``, the more
+the classic influence maximizer concentrates on the majority group's
+well-connected core — and the further the minority falls behind.  This
+script sweeps the deadline on the default synthetic network, prints the
+disparity trajectory for P1 vs P4, and also scores two heuristic
+baselines (top-degree and group-proportional degree seeding) to show
+that seed-level diversity alone does not fix outcome-level disparity.
+
+Run:  python examples/flash_sale_deadlines.py
+"""
+
+import math
+
+from repro import (
+    WorldEnsemble,
+    log1p,
+    solve_fair_tcim_budget,
+    solve_tcim_budget,
+    two_block_sbm,
+)
+from repro.baselines import group_proportional_degree_seeds, top_degree_seeds
+from repro.influence.utility import disparity
+
+BUDGET = 30
+DEADLINES = (1, 2, 5, 10, 20, math.inf)
+
+
+def main() -> None:
+    graph, groups = two_block_sbm(
+        n=500,
+        majority_fraction=0.7,
+        p_hom=0.025,
+        p_het=0.001,
+        activation_probability=0.05,
+        seed=0,
+    )
+    ensemble = WorldEnsemble(graph, groups, n_worlds=150, seed=1)
+
+    # Heuristic baselines pick seeds once, without any deadline model.
+    degree_seeds = top_degree_seeds(graph, BUDGET)
+    diverse_seeds = group_proportional_degree_seeds(graph, groups, BUDGET)
+
+    print(f"flash-sale reach with B={BUDGET} seeded customers\n")
+    print(
+        f"{'window':>8} | {'P1 disp':>8} {'P4 disp':>8} | "
+        f"{'degree disp':>11} {'diverse disp':>12} | {'P1 total':>8} {'P4 total':>8}"
+    )
+    for tau in DEADLINES:
+        p1 = solve_tcim_budget(ensemble, BUDGET, tau)
+        p4 = solve_fair_tcim_budget(ensemble, BUDGET, tau, concave=log1p)
+        degree_gap = disparity(
+            ensemble.normalized_group_utilities(
+                ensemble.state_for(degree_seeds), tau
+            )
+        )
+        diverse_gap = disparity(
+            ensemble.normalized_group_utilities(
+                ensemble.state_for(diverse_seeds), tau
+            )
+        )
+        label = "inf" if math.isinf(tau) else f"{tau:g}"
+        print(
+            f"{label:>8} | {p1.report.disparity:8.3f} {p4.report.disparity:8.3f} | "
+            f"{degree_gap:11.3f} {diverse_gap:12.3f} | "
+            f"{p1.report.population_fraction:8.3f} "
+            f"{p4.report.population_fraction:8.3f}"
+        )
+
+    print(
+        "\nReading: the classic optimizer (P1) and the heuristics leave a "
+        "large gap between groups,\nespecially for short sale windows; the "
+        "fair surrogate (P4) keeps the gap small at a minor\ncost in total "
+        "reach (Theorem 1 bounds that cost)."
+    )
+
+
+if __name__ == "__main__":
+    main()

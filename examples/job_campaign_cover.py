@@ -1,0 +1,75 @@
+"""Scenario: spreading a job advertisement before its deadline.
+
+The paper's motivating use case (Section 1): a job posting closes in
+``tau`` days; information reaching someone after that is useless.  A
+public agency wants at least a fraction ``Q`` of *every* demographic
+group to hear about the opening before it closes, using as few paid
+"seed" ambassadors as possible.
+
+This is exactly TCIM-COVER vs FAIRTCIM-COVER.  We run both on the
+Rice-Facebook surrogate (a university social network with four age
+cohorts) and show that the classic formulation silently leaves the
+least-connected cohort far below the target, while the fair variant
+covers everyone with only a few extra ambassadors.
+
+Run:  python examples/job_campaign_cover.py
+"""
+
+from repro import WorldEnsemble, compare_solutions
+from repro.core import solve_fair_tcim_cover, solve_tcim_cover
+from repro.datasets.rice import rice_facebook_surrogate
+
+QUOTA = 0.2          # 20% of each cohort must hear about the opening
+DEADLINE = 20        # days until applications close
+
+
+def main() -> None:
+    graph, cohorts = rice_facebook_surrogate(seed=0)
+    print(f"campus network: {graph}")
+    print(f"cohorts: {cohorts}\n")
+
+    ensemble = WorldEnsemble(graph, cohorts, n_worlds=120, seed=1)
+
+    classic = solve_tcim_cover(ensemble, quota=QUOTA, deadline=DEADLINE)
+    fair = solve_fair_tcim_cover(ensemble, quota=QUOTA, deadline=DEADLINE)
+
+    print(f"target: reach {QUOTA:.0%} of each cohort within {DEADLINE} days\n")
+    print(f"{'':24}{'ambassadors':>12}" + "".join(
+        f"{str(g):>8}" for g in cohorts.groups
+    ))
+    for name, solution in (
+        ("classic (P2)", classic),
+        ("fair (P6)", fair),
+    ):
+        fractions = solution.report.fraction_influenced
+        print(
+            f"{name:24}{solution.size:>12}"
+            + "".join(f"{f:8.3f}" for f in fractions)
+        )
+
+    uncovered = [
+        str(g)
+        for g, f in zip(cohorts.groups, classic.report.fraction_influenced)
+        if f < QUOTA
+    ]
+    print()
+    if uncovered:
+        print(
+            f"classic P2 reaches the population target but leaves "
+            f"{', '.join(uncovered)} below {QUOTA:.0%}."
+        )
+    comparison = compare_solutions(
+        classic.report, fair.report, label_unfair="P2", label_fair="P6"
+    )
+    print(
+        f"fair P6 covers every cohort using {comparison.seed_overhead} extra "
+        f"ambassador(s) ({classic.size} -> {fair.size})."
+    )
+    print(
+        "Theorem 2 bounds this overhead by ln(1+|V|) * sum of per-cohort "
+        "optimal cover sizes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so
+``pip install -e .`` works on environments without the ``wheel``
+package (pip falls back to the legacy ``setup.py develop`` path when no
+``[build-system]`` table is declared).
+"""
+
+from setuptools import setup
+
+setup()

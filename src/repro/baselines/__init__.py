@@ -1,0 +1,22 @@
+"""Heuristic seeding baselines.
+
+Traditional influence-maximization practice often skips optimization
+entirely and seeds by structural heuristics.  These baselines calibrate
+the experiment tables: greedy should beat them on total influence, and
+their disparity profiles illustrate that fairness does not come for
+free from naive diversity either.
+"""
+
+from repro.baselines.heuristics import (
+    group_proportional_degree_seeds,
+    pagerank_seeds,
+    random_seeds,
+    top_degree_seeds,
+)
+
+__all__ = [
+    "random_seeds",
+    "top_degree_seeds",
+    "pagerank_seeds",
+    "group_proportional_degree_seeds",
+]

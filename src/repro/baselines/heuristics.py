@@ -1,0 +1,118 @@
+"""Seed-selection heuristics that skip influence estimation.
+
+All functions return a list of ``budget`` node labels drawn from
+``candidates`` (default: all nodes), deterministically given a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.errors import OptimizationError
+from repro.graph.centrality import pagerank
+from repro.graph.digraph import DiGraph, NodeId
+from repro.graph.groups import GroupAssignment
+from repro.rng import RngLike, ensure_rng
+
+
+def _pool(graph: DiGraph, candidates: Optional[Iterable[NodeId]]) -> List[NodeId]:
+    pool = graph.nodes() if candidates is None else list(candidates)
+    if not pool:
+        raise OptimizationError("candidate pool is empty")
+    return pool
+
+
+def _check_budget(budget: int, pool_size: int) -> None:
+    if budget < 1:
+        raise OptimizationError(f"budget must be >= 1, got {budget}")
+    if budget > pool_size:
+        raise OptimizationError(
+            f"budget {budget} exceeds candidate pool of size {pool_size}"
+        )
+
+
+def random_seeds(
+    graph: DiGraph,
+    budget: int,
+    candidates: Optional[Iterable[NodeId]] = None,
+    seed: RngLike = None,
+) -> List[NodeId]:
+    """Uniformly random seeds — the floor every method should beat."""
+    pool = _pool(graph, candidates)
+    _check_budget(budget, len(pool))
+    rng = ensure_rng(seed)
+    picks = rng.choice(len(pool), size=budget, replace=False)
+    return [pool[int(i)] for i in picks]
+
+
+def top_degree_seeds(
+    graph: DiGraph,
+    budget: int,
+    candidates: Optional[Iterable[NodeId]] = None,
+) -> List[NodeId]:
+    """Highest out-degree first (ties broken by label repr for determinism)."""
+    pool = _pool(graph, candidates)
+    _check_budget(budget, len(pool))
+    ranked = sorted(pool, key=lambda n: (-graph.out_degree(n), repr(n)))
+    return ranked[:budget]
+
+
+def pagerank_seeds(
+    graph: DiGraph,
+    budget: int,
+    candidates: Optional[Iterable[NodeId]] = None,
+    damping: float = 0.85,
+) -> List[NodeId]:
+    """Highest PageRank first."""
+    pool = _pool(graph, candidates)
+    _check_budget(budget, len(pool))
+    scores = pagerank(graph, damping=damping)
+    ranked = sorted(pool, key=lambda n: (-scores[n], repr(n)))
+    return ranked[:budget]
+
+
+def group_proportional_degree_seeds(
+    graph: DiGraph,
+    assignment: GroupAssignment,
+    budget: int,
+    candidates: Optional[Iterable[NodeId]] = None,
+) -> List[NodeId]:
+    """Top-degree seeding with per-group quotas proportional to group size.
+
+    A "diversity" baseline in the spirit of Stoica & Chaintreau (2019):
+    it guarantees representation among *seeds* but not among the
+    *influenced* — the gap the paper's formulation closes.
+    """
+    pool = _pool(graph, candidates)
+    _check_budget(budget, len(pool))
+    by_group = {g: [] for g in assignment.groups}
+    for node in pool:
+        by_group[assignment.group_of(node)].append(node)
+    for members in by_group.values():
+        members.sort(key=lambda n: (-graph.out_degree(n), repr(n)))
+
+    total = sum(len(v) for v in by_group.values())
+    raw = {
+        g: budget * len(members) / total for g, members in by_group.items()
+    }
+    quota = {g: int(np.floor(v)) for g, v in raw.items()}
+    remainder = budget - sum(quota.values())
+    for g in sorted(raw, key=lambda g: -(raw[g] - quota[g])):
+        if remainder <= 0:
+            break
+        if quota[g] < len(by_group[g]):
+            quota[g] += 1
+            remainder -= 1
+
+    chosen: List[NodeId] = []
+    for g in assignment.groups:
+        take = min(quota[g], len(by_group[g]))
+        chosen.extend(by_group[g][:take])
+    # Backfill if some group had fewer members than its quota.
+    if len(chosen) < budget:
+        leftovers = [n for g in assignment.groups for n in by_group[g][quota[g]:]]
+        leftovers.sort(key=lambda n: (-graph.out_degree(n), repr(n)))
+        chosen.extend(leftovers[: budget - len(chosen)])
+    return chosen[:budget]

@@ -1,0 +1,73 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli run fig4a [--quick] [--seed N]
+    python -m repro.cli run all [--quick]
+
+``run`` prints the experiment's table, notes, and shape checks; the
+exit code is non-zero when any shape check fails, so the CLI doubles
+as a reproduction smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.registry import list_experiments, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fairtcim",
+        description=(
+            "Reproduction harness for 'On the Fairness of Time-Critical "
+            "Influence Maximization in Social Networks' (ICDE 2022)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list all experiment ids")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id from 'list', or 'all'")
+    run.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced sample counts / sweeps (seconds instead of minutes)",
+    )
+    run.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for experiment_id in list_experiments():
+            print(experiment_id)
+        return 0
+
+    ids = list_experiments() if args.experiment == "all" else [args.experiment]
+    failures = 0
+    for experiment_id in ids:
+        started = time.perf_counter()
+        result = run_experiment(experiment_id, quick=args.quick, seed=args.seed)
+        elapsed = time.perf_counter() - started
+        print(result.as_text())
+        print(f"({elapsed:.1f}s)")
+        print()
+        if not result.all_checks_pass:
+            failures += 1
+    if failures:
+        print(f"{failures} experiment(s) had failing shape checks", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,193 @@
+"""Exact brute-force solvers for P1–P6 on small instances.
+
+These enumerate seed sets over exact utilities (live-edge world
+enumeration) and therefore run only on tiny graphs, but they provide:
+
+- the optimal solutions reported in the Figure-1 example table;
+- ground truth for the greedy guarantee tests (Theorems 1 and 2 compare
+  greedy output against *optimal* values);
+- reference solutions for the NP-hard constrained formulations P3 and
+  P5 that the surrogates P4 and P6 approximate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Hashable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InfeasibleError, OptimizationError
+from repro.graph.digraph import DiGraph, NodeId
+from repro.graph.groups import GroupAssignment
+from repro.influence.exact import exact_group_utilities
+from repro.influence.utility import disparity
+from repro.core.concave import ConcaveFunction, identity
+
+#: Refuse enumerations beyond this many candidate subsets.
+MAX_SUBSETS = 2_000_000
+
+
+@dataclass(frozen=True)
+class BruteForceSolution:
+    """An exactly-optimal seed set with its exact utility breakdown."""
+
+    problem: str
+    seeds: Tuple[NodeId, ...]
+    objective_value: float
+    group_utilities: np.ndarray
+    groups: List[Hashable]
+    group_sizes: np.ndarray
+
+    @property
+    def total_utility(self) -> float:
+        return float(self.group_utilities.sum())
+
+    @property
+    def normalized(self) -> np.ndarray:
+        return self.group_utilities / self.group_sizes
+
+    @property
+    def disparity(self) -> float:
+        return disparity(self.normalized)
+
+
+def _candidate_pool(
+    graph: DiGraph, candidates: Optional[Iterable[NodeId]]
+) -> List[NodeId]:
+    pool = graph.nodes() if candidates is None else list(candidates)
+    if not pool:
+        raise OptimizationError("candidate pool is empty")
+    return pool
+
+
+def _count_subsets(n: int, k: int) -> int:
+    return math.comb(n, k)
+
+
+def _guard(total: int) -> None:
+    if total > MAX_SUBSETS:
+        raise OptimizationError(
+            f"brute force would enumerate {total} seed sets "
+            f"(limit {MAX_SUBSETS}); use the greedy solvers instead"
+        )
+
+
+def brute_force_budget(
+    graph: DiGraph,
+    assignment: GroupAssignment,
+    budget: int,
+    deadline: float,
+    concave: ConcaveFunction = identity,
+    weights: Optional[Sequence[float]] = None,
+    candidates: Optional[Iterable[NodeId]] = None,
+    max_disparity: Optional[float] = None,
+) -> BruteForceSolution:
+    """Exact optimum of P1 / P4 / P3 depending on arguments.
+
+    - ``concave=identity`` and ``max_disparity=None`` — problem P1;
+    - a curved ``concave`` — problem P4;
+    - ``max_disparity=c`` — the constrained problem P3 (with whatever
+      objective ``concave``/``weights`` induce; the paper's P3 uses the
+      plain sum, i.e. ``identity``).
+
+    Ties are broken toward lower disparity, then lexicographically, so
+    results are deterministic.
+    """
+    if budget < 1:
+        raise OptimizationError(f"budget must be >= 1, got {budget}")
+    pool = _candidate_pool(graph, candidates)
+    _guard(_count_subsets(len(pool), min(budget, len(pool))))
+    sizes = assignment.sizes().astype(np.float64)
+    weight_vec = (
+        np.ones(len(assignment.groups))
+        if weights is None
+        else np.asarray(weights, dtype=np.float64)
+    )
+
+    best: Optional[Tuple[float, float, Tuple[NodeId, ...], np.ndarray]] = None
+    for subset in combinations(sorted(pool, key=repr), budget):
+        utilities = exact_group_utilities(graph, assignment, subset, deadline)
+        vector = np.asarray([utilities[g] for g in assignment.groups])
+        gap = disparity(vector / sizes)
+        if max_disparity is not None and gap > max_disparity + 1e-12:
+            continue
+        value = float((weight_vec * concave(vector)).sum())
+        key = (value, -gap)
+        if best is None or key > (best[0], -best[1]):
+            best = (value, gap, subset, vector)
+    if best is None:
+        raise InfeasibleError(
+            f"no size-{budget} seed set satisfies disparity <= {max_disparity}"
+        )
+    problem = "TCIM-BUDGET(P1)" if concave is identity else f"FAIRTCIM-BUDGET(P4,H={concave.name})"
+    if max_disparity is not None:
+        problem = f"FAIR-CONSTRAINED(P3,c={max_disparity:g})"
+    return BruteForceSolution(
+        problem=problem,
+        seeds=best[2],
+        objective_value=best[0],
+        group_utilities=best[3],
+        groups=assignment.groups,
+        group_sizes=assignment.sizes().astype(np.float64),
+    )
+
+
+def brute_force_cover(
+    graph: DiGraph,
+    assignment: GroupAssignment,
+    quota: float,
+    deadline: float,
+    per_group: bool,
+    candidates: Optional[Iterable[NodeId]] = None,
+    max_disparity: Optional[float] = None,
+) -> BruteForceSolution:
+    """Exact optimum of P2 / P6 / P5 depending on arguments.
+
+    - ``per_group=False`` — P2 (population quota);
+    - ``per_group=True`` — P6 (every group meets the quota);
+    - ``max_disparity=c`` with ``per_group=False`` — P5.
+
+    Searches seed sets in increasing size, so the first feasible size
+    is optimal.  Within a size, ties break toward higher total utility.
+    """
+    if not 0.0 < quota <= 1.0:
+        raise OptimizationError(f"quota must be in (0, 1], got {quota}")
+    pool = _candidate_pool(graph, candidates)
+    sizes = assignment.sizes().astype(np.float64)
+    population = float(sizes.sum())
+
+    for size in range(1, len(pool) + 1):
+        _guard(_count_subsets(len(pool), size))
+        best: Optional[Tuple[float, Tuple[NodeId, ...], np.ndarray]] = None
+        for subset in combinations(sorted(pool, key=repr), size):
+            utilities = exact_group_utilities(graph, assignment, subset, deadline)
+            vector = np.asarray([utilities[g] for g in assignment.groups])
+            if per_group:
+                feasible = bool(((vector / sizes) >= quota - 1e-12).all())
+            else:
+                feasible = vector.sum() / population >= quota - 1e-12
+            if feasible and max_disparity is not None:
+                feasible = disparity(vector / sizes) <= max_disparity + 1e-12
+            if not feasible:
+                continue
+            total = float(vector.sum())
+            if best is None or total > best[0]:
+                best = (total, subset, vector)
+        if best is not None:
+            problem = "FAIRTCIM-COVER(P6)" if per_group else "TCIM-COVER(P2)"
+            if max_disparity is not None:
+                problem = f"FAIR-CONSTRAINED(P5,c={max_disparity:g})"
+            return BruteForceSolution(
+                problem=problem,
+                seeds=best[1],
+                objective_value=float(size),
+                group_utilities=best[2],
+                groups=assignment.groups,
+                group_sizes=sizes,
+            )
+    raise InfeasibleError(
+        f"no seed set from the {len(pool)}-candidate pool reaches quota {quota}"
+    )

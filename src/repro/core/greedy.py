@@ -1,0 +1,263 @@
+"""Greedy maximisation engines: CELF lazy greedy and plain greedy.
+
+Both engines maximise ``objective(group_utilities(S))`` by iteratively
+adding the candidate with the largest marginal gain (Section 3.4's
+greedy heuristic).  For monotone submodular objectives this carries the
+classic guarantees the paper's Theorems 1 and 2 build on.
+
+:func:`lazy_greedy` implements CELF (Leskovec et al. 2007): marginal
+gains can only shrink as the seed set grows (submodularity), so a
+candidate whose *stale* upper bound is already below the best fresh
+gain need not be re-evaluated.  On the paper's workloads this cuts
+utility evaluations by one to two orders of magnitude;
+:func:`plain_greedy` is retained as the reference oracle (identical
+output under identical tie-breaking) and for the CELF ablation bench.
+
+Tie-breaking is deterministic everywhere: equal gains resolve to the
+lowest candidate position, so runs are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.errors import InfeasibleError, OptimizationError
+from repro.graph.digraph import NodeId
+from repro.influence.ensemble import WorldEnsemble
+from repro.core.objectives import Objective
+
+#: Marginal gains below this are treated as zero (Monte Carlo noise floor).
+GAIN_TOLERANCE = 1e-12
+
+StopCondition = Callable[[np.ndarray], bool]
+
+
+@dataclass(frozen=True)
+class SelectionStep:
+    """One greedy iteration: which seed was added and what it bought."""
+
+    node: NodeId
+    position: int
+    objective_value: float
+    gain: float
+    group_utilities: np.ndarray
+    evaluations: int
+
+
+@dataclass
+class SelectionTrace:
+    """Full audit trail of a greedy run.
+
+    The iteration figures of the paper (Fig. 6a / 8a) are direct
+    renderings of a trace: per-step group utilities for a growing seed
+    set.
+    """
+
+    steps: List[SelectionStep] = field(default_factory=list)
+    stopped_reason: str = ""
+
+    @property
+    def seeds(self) -> List[NodeId]:
+        return [step.node for step in self.steps]
+
+    @property
+    def size(self) -> int:
+        return len(self.steps)
+
+    @property
+    def final_group_utilities(self) -> np.ndarray:
+        if not self.steps:
+            raise OptimizationError("trace is empty")
+        return self.steps[-1].group_utilities
+
+    @property
+    def final_objective(self) -> float:
+        if not self.steps:
+            raise OptimizationError("trace is empty")
+        return self.steps[-1].objective_value
+
+    @property
+    def total_evaluations(self) -> int:
+        return sum(step.evaluations for step in self.steps)
+
+
+def _check_arguments(ensemble: WorldEnsemble, max_seeds: int) -> None:
+    if max_seeds < 1:
+        raise OptimizationError(f"max_seeds must be >= 1, got {max_seeds}")
+    if ensemble.n_candidates == 0:
+        raise OptimizationError("candidate pool is empty")
+
+
+def lazy_greedy(
+    ensemble: WorldEnsemble,
+    objective: Objective,
+    deadline: float,
+    max_seeds: int,
+    stop: Optional[StopCondition] = None,
+    require_stop: bool = False,
+    discount: Optional[float] = None,
+) -> SelectionTrace:
+    """CELF lazy greedy maximisation.
+
+    Parameters
+    ----------
+    ensemble:
+        Pre-built influence estimator.
+    objective:
+        Monotone scalarisation of group utilities.
+    deadline:
+        The time-critical deadline ``tau`` (``math.inf`` allowed).
+    max_seeds:
+        Hard cap on the seed-set size (the budget ``B`` for P1/P4; a
+        safety bound for cover problems).
+    stop:
+        Optional predicate on the current group-utility vector; when it
+        returns ``True`` selection stops (cover problems pass their
+        quota check here).
+    require_stop:
+        If ``True``, failing to satisfy ``stop`` before running out of
+        candidates/progress raises :class:`InfeasibleError` (cover
+        semantics).  If ``False`` the trace is returned as-is (budget
+        semantics).
+
+    Returns the :class:`SelectionTrace`; ``trace.stopped_reason`` is one
+    of ``"budget"``, ``"stop-condition"``, ``"no-gain"``,
+    ``"exhausted"``.
+    """
+    _check_arguments(ensemble, max_seeds)
+    state = ensemble.empty_state()
+    current_value = objective.value(ensemble.group_utilities(state, deadline, discount))
+    trace = SelectionTrace()
+
+    if stop is not None and stop(ensemble.group_utilities(state, deadline, discount)):
+        trace.stopped_reason = "stop-condition"
+        return trace
+
+    # Heap entries: (-gain_upper_bound, position, round_when_scored).
+    heap: List[tuple] = []
+    round_no = 0
+    evaluations = 0
+    for position in range(ensemble.n_candidates):
+        utilities = ensemble.candidate_group_utilities(state, position, deadline, discount)
+        gain = objective.value(utilities) - current_value
+        evaluations += 1
+        heapq.heappush(heap, (-gain, position, round_no))
+
+    chosen = set()
+    while trace.size < max_seeds and heap:
+        neg_gain, position, scored_round = heapq.heappop(heap)
+        if position in chosen:
+            continue
+        if scored_round != round_no:
+            # Stale bound: re-evaluate against the current seed set.
+            utilities = ensemble.candidate_group_utilities(state, position, deadline, discount)
+            gain = objective.value(utilities) - current_value
+            evaluations += 1
+            heapq.heappush(heap, (-gain, position, round_no))
+            continue
+        gain = -neg_gain
+        if gain <= GAIN_TOLERANCE:
+            trace.stopped_reason = "no-gain"
+            break
+        ensemble.add_seed(state, position)
+        chosen.add(position)
+        utilities = ensemble.group_utilities(state, deadline, discount)
+        current_value = objective.value(utilities)
+        round_no += 1
+        trace.steps.append(
+            SelectionStep(
+                node=ensemble.label(position),
+                position=position,
+                objective_value=current_value,
+                gain=gain,
+                group_utilities=utilities,
+                evaluations=evaluations,
+            )
+        )
+        evaluations = 0
+        if stop is not None and stop(utilities):
+            trace.stopped_reason = "stop-condition"
+            break
+    else:
+        trace.stopped_reason = "budget" if trace.size >= max_seeds else "exhausted"
+
+    if require_stop and trace.stopped_reason != "stop-condition":
+        raise InfeasibleError(
+            f"stop condition unmet after {trace.size} seeds "
+            f"(reason: {trace.stopped_reason}); the quota may be infeasible "
+            "for this graph/deadline"
+        )
+    return trace
+
+
+def plain_greedy(
+    ensemble: WorldEnsemble,
+    objective: Objective,
+    deadline: float,
+    max_seeds: int,
+    stop: Optional[StopCondition] = None,
+    require_stop: bool = False,
+    discount: Optional[float] = None,
+) -> SelectionTrace:
+    """Reference greedy: every candidate re-evaluated every round.
+
+    Semantically identical to :func:`lazy_greedy` (same tie-breaking),
+    quadratically more utility evaluations.  Kept as the test oracle
+    and for the CELF ablation.
+    """
+    _check_arguments(ensemble, max_seeds)
+    state = ensemble.empty_state()
+    current_value = objective.value(ensemble.group_utilities(state, deadline, discount))
+    trace = SelectionTrace()
+
+    if stop is not None and stop(ensemble.group_utilities(state, deadline, discount)):
+        trace.stopped_reason = "stop-condition"
+        return trace
+
+    chosen = set()
+    while trace.size < max_seeds:
+        best_gain = -np.inf
+        best_position = -1
+        evaluations = 0
+        for position in range(ensemble.n_candidates):
+            if position in chosen:
+                continue
+            utilities = ensemble.candidate_group_utilities(state, position, deadline, discount)
+            gain = objective.value(utilities) - current_value
+            evaluations += 1
+            if gain > best_gain + GAIN_TOLERANCE:
+                best_gain = gain
+                best_position = position
+        if best_position < 0 or best_gain <= GAIN_TOLERANCE:
+            trace.stopped_reason = "no-gain" if best_position >= 0 else "exhausted"
+            break
+        ensemble.add_seed(state, best_position)
+        chosen.add(best_position)
+        utilities = ensemble.group_utilities(state, deadline, discount)
+        current_value = objective.value(utilities)
+        trace.steps.append(
+            SelectionStep(
+                node=ensemble.label(best_position),
+                position=best_position,
+                objective_value=current_value,
+                gain=best_gain,
+                group_utilities=utilities,
+                evaluations=evaluations,
+            )
+        )
+        if stop is not None and stop(utilities):
+            trace.stopped_reason = "stop-condition"
+            break
+    else:
+        trace.stopped_reason = "budget"
+
+    if require_stop and trace.stopped_reason != "stop-condition":
+        raise InfeasibleError(
+            f"stop condition unmet after {trace.size} seeds "
+            f"(reason: {trace.stopped_reason})"
+        )
+    return trace

@@ -1,0 +1,96 @@
+"""Fairness accounting: comparing fair and unfair solutions.
+
+The paper's headline claims are comparative — "FAIRTCIM achieves much
+lower disparity at a marginal cost in total influence / seed count".
+:class:`FairnessComparison` makes that comparison a first-class record:
+disparity reduction, influence cost (the "price of fairness") and seed
+overhead, computed from two :class:`~repro.influence.utility.UtilityReport`
+objects evaluated on the *same* ensemble (common random numbers, so the
+difference is signal rather than sampling noise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.influence.utility import UtilityReport
+
+
+@dataclass(frozen=True)
+class FairnessComparison:
+    """Side-by-side accounting of an unfair and a fair solution."""
+
+    unfair: UtilityReport
+    fair: UtilityReport
+    label_unfair: str = "P1"
+    label_fair: str = "P4"
+
+    @property
+    def disparity_reduction(self) -> float:
+        """Absolute drop in Eq.-2 disparity (positive = fair is fairer)."""
+        return self.unfair.disparity - self.fair.disparity
+
+    @property
+    def disparity_ratio(self) -> float:
+        """Fair disparity as a fraction of unfair disparity (lower is
+        better; 0 means disparity fully removed)."""
+        if self.unfair.disparity <= 0:
+            return 1.0 if self.fair.disparity <= 0 else float("inf")
+        return self.fair.disparity / self.unfair.disparity
+
+    @property
+    def influence_cost(self) -> float:
+        """Total-influence fraction given up for fairness (can be
+        negative: on some graphs the fair solution influences *more* —
+        the paper observes this on Instagram-Activities)."""
+        return self.unfair.population_fraction - self.fair.population_fraction
+
+    @property
+    def influence_cost_relative(self) -> float:
+        """Influence cost relative to the unfair total."""
+        if self.unfair.population_fraction <= 0:
+            return 0.0
+        return self.influence_cost / self.unfair.population_fraction
+
+    @property
+    def seed_overhead(self) -> int:
+        """Extra seeds used by the fair solution (cover problems)."""
+        return self.fair.seed_count - self.unfair.seed_count
+
+    @property
+    def minimum_group_gain(self) -> float:
+        """Improvement in the worst-off group's influenced fraction."""
+        return float(self.fair.fraction_influenced.min() - self.unfair.fraction_influenced.min())
+
+    def as_text(self) -> str:
+        lines = [
+            f"{self.label_unfair}: total={self.unfair.population_fraction:.4f} "
+            f"disparity={self.unfair.disparity:.4f} seeds={self.unfair.seed_count}",
+            f"{self.label_fair}: total={self.fair.population_fraction:.4f} "
+            f"disparity={self.fair.disparity:.4f} seeds={self.fair.seed_count}",
+            f"disparity reduction: {self.disparity_reduction:+.4f} "
+            f"(ratio {self.disparity_ratio:.3f})",
+            f"influence cost: {self.influence_cost:+.4f} "
+            f"({self.influence_cost_relative:+.2%} of unfair total)",
+        ]
+        if self.seed_overhead:
+            lines.append(f"seed overhead: {self.seed_overhead:+d}")
+        return "\n".join(lines)
+
+
+def compare_solutions(
+    unfair: UtilityReport,
+    fair: UtilityReport,
+    label_unfair: str = "P1",
+    label_fair: str = "P4",
+) -> FairnessComparison:
+    """Build a :class:`FairnessComparison` (validates deadline alignment)."""
+    if unfair.deadline != fair.deadline:
+        raise ValueError(
+            f"reports evaluated at different deadlines: "
+            f"{unfair.deadline} vs {fair.deadline}"
+        )
+    return FairnessComparison(
+        unfair=unfair, fair=fair, label_unfair=label_unfair, label_fair=label_fair
+    )

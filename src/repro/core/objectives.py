@@ -1,0 +1,185 @@
+"""Objective functions mapping group-utility vectors to scalars.
+
+Every solver in this library is an instance of "greedily maximise a
+monotone submodular set function".  The set-function structure lives in
+the estimator (group utilities are monotone submodular in the seed set,
+world-wise and hence in expectation); an :class:`Objective` is the
+*outer* function composing them into a scalar:
+
+- :class:`TotalInfluenceObjective` — ``sum_i f_i`` — problems P1/P2;
+- :class:`ConcaveSumObjective` — ``sum_i w_i H(f_i)`` — problem P4
+  (submodular because a non-decreasing concave transform of a monotone
+  submodular function is submodular, Lin & Bilmes 2011);
+- :class:`TruncatedCoverageObjective` — ``sum_i min(f_i/|V_i|, Q)`` —
+  problem P6's constraint re-written as in the Theorem 2 proof
+  (truncation preserves monotone submodularity).
+
+Objectives must be non-decreasing in every coordinate — that is what
+makes CELF's lazy evaluation sound — and :func:`validate_monotone`
+spot-checks it for custom objectives.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.core.concave import ConcaveFunction, identity
+
+
+class Objective(Protocol):
+    """Scalarisation of a per-group utility vector."""
+
+    def value(self, group_utilities: np.ndarray) -> float:
+        """Objective value for the given per-group expected utilities."""
+        ...
+
+
+class TotalInfluenceObjective:
+    """``sum_i f_i`` — the classic influence objective (P1, P2).
+
+    Because groups partition the population, the sum over group
+    utilities equals ``f_tau(S; V, G)``.
+    """
+
+    name = "total-influence"
+
+    def value(self, group_utilities: np.ndarray) -> float:
+        return float(np.asarray(group_utilities, dtype=np.float64).sum())
+
+    def __repr__(self) -> str:
+        return "TotalInfluenceObjective()"
+
+
+class ConcaveSumObjective:
+    """``sum_i w_i * H(f_i)`` — the FAIRTCIM-BUDGET surrogate (P4).
+
+    Parameters
+    ----------
+    concave:
+        The wrapper ``H`` (see :mod:`repro.core.concave`).
+    weights:
+        Optional per-group weights ``lambda_i`` (the paper mentions
+        up-weighting under-represented groups as an alternative to
+        increasing curvature).  Defaults to all ones.
+    """
+
+    def __init__(
+        self,
+        concave: ConcaveFunction = identity,
+        weights: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.concave = concave
+        self.weights = (
+            None if weights is None else np.asarray(weights, dtype=np.float64)
+        )
+        if self.weights is not None and (self.weights < 0).any():
+            raise ConfigError("group weights must be non-negative")
+        self.name = f"concave-sum[{concave.name}]"
+
+    def value(self, group_utilities: np.ndarray) -> float:
+        transformed = self.concave(np.asarray(group_utilities, dtype=np.float64))
+        if self.weights is not None:
+            if transformed.shape != self.weights.shape:
+                raise ConfigError(
+                    f"weights shape {self.weights.shape} does not match "
+                    f"{transformed.shape} groups"
+                )
+            transformed = transformed * self.weights
+        return float(transformed.sum())
+
+    def __repr__(self) -> str:
+        return f"ConcaveSumObjective(concave={self.concave.name!r})"
+
+
+class TruncatedCoverageObjective:
+    """``sum_i min(f_i / |V_i|, Q)`` — the FAIRTCIM-COVER surrogate (P6).
+
+    The greedy cover algorithm maximises this and stops when it reaches
+    ``k * Q``, at which point *every* group meets the quota.  Its
+    maximum value is ``k * Q`` (:attr:`target`).
+    """
+
+    def __init__(self, quota: float, group_sizes: Sequence[float]) -> None:
+        if not 0.0 < quota <= 1.0:
+            raise ConfigError(f"quota must be in (0, 1], got {quota}")
+        self.quota = float(quota)
+        self.group_sizes = np.asarray(group_sizes, dtype=np.float64)
+        if (self.group_sizes <= 0).any():
+            raise ConfigError("group sizes must be positive")
+        self.name = f"truncated-coverage[Q={quota:g}]"
+
+    @property
+    def target(self) -> float:
+        """The saturation value ``k * Q``."""
+        return self.quota * self.group_sizes.size
+
+    def value(self, group_utilities: np.ndarray) -> float:
+        fractions = np.asarray(group_utilities, dtype=np.float64) / self.group_sizes
+        return float(np.minimum(fractions, self.quota).sum())
+
+    def satisfied(self, group_utilities: np.ndarray, slack: float = 0.0) -> bool:
+        """Whether every group meets the quota (within ``slack``)."""
+        fractions = np.asarray(group_utilities, dtype=np.float64) / self.group_sizes
+        return bool((fractions >= self.quota - slack).all())
+
+    def __repr__(self) -> str:
+        return f"TruncatedCoverageObjective(quota={self.quota})"
+
+
+class TotalCoverageObjective:
+    """``min(sum_i f_i / |V|, Q)`` — the *unfair* cover constraint (P2).
+
+    Saturates once the whole-population quota is met; group membership
+    plays no role, which is exactly why P2 can leave a group behind.
+    """
+
+    def __init__(self, quota: float, population: float) -> None:
+        if not 0.0 < quota <= 1.0:
+            raise ConfigError(f"quota must be in (0, 1], got {quota}")
+        if population <= 0:
+            raise ConfigError(f"population must be positive, got {population}")
+        self.quota = float(quota)
+        self.population = float(population)
+        self.name = f"total-coverage[Q={quota:g}]"
+
+    @property
+    def target(self) -> float:
+        return self.quota
+
+    def value(self, group_utilities: np.ndarray) -> float:
+        fraction = float(np.asarray(group_utilities, dtype=np.float64).sum()) / self.population
+        return min(fraction, self.quota)
+
+    def satisfied(self, group_utilities: np.ndarray, slack: float = 0.0) -> bool:
+        fraction = float(np.asarray(group_utilities, dtype=np.float64).sum()) / self.population
+        return fraction >= self.quota - slack
+
+    def __repr__(self) -> str:
+        return f"TotalCoverageObjective(quota={self.quota})"
+
+
+def validate_monotone(
+    objective: Objective,
+    dimension: int,
+    trials: int = 64,
+    seed: int = 0,
+) -> None:
+    """Spot-check that ``objective`` is coordinate-wise non-decreasing.
+
+    Raises :class:`ConfigError` on a violation.  Used when accepting
+    user-supplied objectives into the greedy engine, where monotonicity
+    is a soundness requirement for lazy evaluation.
+    """
+    rng = np.random.default_rng(seed)
+    for _ in range(trials):
+        base = rng.uniform(0.0, 50.0, size=dimension)
+        bump = base.copy()
+        bump[int(rng.integers(dimension))] += rng.uniform(0.0, 10.0)
+        if objective.value(bump) < objective.value(base) - 1e-9:
+            raise ConfigError(
+                f"objective {objective!r} is not coordinate-wise monotone; "
+                "lazy greedy would be unsound"
+            )

@@ -1,0 +1,86 @@
+"""The Figure-1 style illustrative example.
+
+The paper's Figure 1 uses a 38-node graph with a 26-node "blue dots"
+majority (V1) and a 12-node "red triangles" minority (V2), constant
+activation probability 0.7, budget B=2.  The exact topology is not
+published; this module constructs a graph with the three properties
+Section 4.2 says drive the example:
+
+1. V2 is a minority (12 vs 26 nodes);
+2. V1 holds the most central, highest-connectivity nodes (the hubs
+   ``a`` and ``b``);
+3. the minority is reachable only through a longer path (``a — d — e —
+   c``), so tightening the deadline cuts it off first.
+
+Topology::
+
+    a — 12 blue leaves        b — 10 blue leaves
+    a — d — e — c             c — r1 — r2 — ... — r11   (a chain)
+
+with ``a, b, d, e`` and all their leaves blue (26 nodes); the red group
+(12 nodes) is a *chain* hanging off ``c`` — strictly lower connectivity
+than the blue hubs, as Section 4.2 prescribes.  Under P1 with B=2 the
+optimum is the blue hub pair {a, b} (each hub's star is worth more
+total influence than the attenuating red chain); the nearest red node
+sits 3 hops from ``a``, so the red group's utility collapses to 0 at
+``tau = 2`` exactly as in the paper's table.  The FAIRTCIM optimum
+pairs a blue hub with ``c`` and keeps both groups served at every
+deadline, closely matching the paper's reported normalized utilities
+(e.g. red ~= 0.18 at tau = 2, ~= 0.27 at tau = inf).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.graph.digraph import DiGraph
+from repro.graph.groups import GroupAssignment
+
+#: Groups as named in the paper's figure.
+BLUE = "blue"
+RED = "red"
+
+#: The paper's activation probability for this example.
+ACTIVATION = 0.7
+
+
+def illustrative_graph(
+    activation_probability: float = ACTIVATION,
+) -> Tuple[DiGraph, GroupAssignment]:
+    """Build the 38-node illustrative example (deterministic)."""
+    graph = DiGraph(default_probability=activation_probability)
+
+    # Named backbone nodes.  a, b are the majority hubs; d, e bridge
+    # toward the minority hub c.
+    for name in ("a", "b", "d", "e"):
+        graph.add_node(name, group=BLUE)
+    graph.add_node("c", group=RED)
+
+    blue_leaves_a = [f"a{i}" for i in range(1, 13)]  # 12 leaves
+    blue_leaves_b = [f"b{i}" for i in range(1, 11)]  # 10 leaves
+    red_chain = [f"r{i}" for i in range(1, 12)]  # r1..r11
+
+    for leaf in blue_leaves_a + blue_leaves_b:
+        graph.add_node(leaf, group=BLUE)
+    for node in red_chain:
+        graph.add_node(node, group=RED)
+
+    for leaf in blue_leaves_a:
+        graph.add_undirected_edge("a", leaf)
+    for leaf in blue_leaves_b:
+        graph.add_undirected_edge("b", leaf)
+    # The red chain: c — r1 — r2 — ... — r11.
+    previous = "c"
+    for node in red_chain:
+        graph.add_undirected_edge(previous, node)
+        previous = node
+
+    graph.add_undirected_edge("a", "d")
+    graph.add_undirected_edge("d", "e")
+    graph.add_undirected_edge("e", "c")
+
+    assignment = GroupAssignment.from_graph(graph)
+    assert graph.number_of_nodes() == 38
+    assert assignment.size(BLUE) == 26
+    assert assignment.size(RED) == 12
+    return graph, assignment

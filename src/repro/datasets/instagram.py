@@ -1,0 +1,102 @@
+"""Surrogate for the Instagram-Activities dataset (Stoica et al., WWW 2018).
+
+Reported statistics (paper Section 7.1): 553,628 nodes and 652,830
+undirected edges (like/comment interactions); binary gender attribute
+with 45.5% male; 179,668 male–male, 201,083 female–female and 136,039
+across-gender edges.  (The reported block counts sum to 516,790 — the
+remaining edges involve nodes of unreported gender; the surrogate uses
+the three reported blocks, which are what the experiments condition
+on.)
+
+The defining features are the extreme sparsity (average degree ≈ 1.9
+over the reported blocks) and the female-leaning block densities; both
+survive proportional scaling, so the default surrogate is scaled to
+~2% of the original (≈ 11k nodes) to keep a full greedy sweep inside a
+benchmark budget.  ``scale=1.0`` builds the full-size network with the
+same code.  As in the paper, experiments restrict seed candidates to a
+random subset while influence propagates over the whole network.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.graph.digraph import DiGraph, NodeId
+from repro.graph.generators import block_model_with_edge_counts
+from repro.graph.groups import GroupAssignment
+from repro.rng import RngLike, ensure_rng
+
+#: Reported statistics.
+TOTAL_NODES = 553_628
+MALE_FRACTION = 0.455
+MALE_MALE_EDGES = 179_668
+FEMALE_FEMALE_EDGES = 201_083
+ACROSS_EDGES = 136_039
+
+#: Experiment parameters (paper Section 7.1).
+ACTIVATION = 0.06
+DEADLINE = 2
+CANDIDATE_POOL = 5000
+
+#: Default scale for the surrogate (fraction of the original size).
+DEFAULT_SCALE = 0.02
+
+
+def instagram_surrogate(
+    scale: float = DEFAULT_SCALE,
+    activation_probability: float = ACTIVATION,
+    seed: RngLike = 0,
+) -> Tuple[DiGraph, GroupAssignment]:
+    """Build the (scaled) Instagram-Activities surrogate.
+
+    ``scale`` multiplies node and edge counts alike, preserving the
+    average degree and the male/female block-density ratios.
+    """
+    if not 0.0 < scale <= 1.0:
+        raise ConfigError(f"scale must be in (0, 1], got {scale}")
+    males = max(int(round(TOTAL_NODES * MALE_FRACTION * scale)), 2)
+    females = max(int(round(TOTAL_NODES * (1.0 - MALE_FRACTION) * scale)), 2)
+    mm = max(int(round(MALE_MALE_EDGES * scale)), 1)
+    ff = max(int(round(FEMALE_FEMALE_EDGES * scale)), 1)
+    mf = max(int(round(ACROSS_EDGES * scale)), 1)
+    counts = np.array([[mm, mf], [mf, ff]], dtype=np.int64)
+    graph, assignment = block_model_with_edge_counts(
+        block_sizes=[males, females],
+        edge_counts=counts,
+        activation_probability=activation_probability,
+        group_names=["male", "female"],
+        seed=seed,
+    )
+    return graph, assignment
+
+
+def candidate_pool(
+    graph: DiGraph,
+    size: Optional[int] = None,
+    scale: float = DEFAULT_SCALE,
+    seed: RngLike = 0,
+) -> List[NodeId]:
+    """Random seed-candidate pool, mirroring the paper's restriction.
+
+    The paper draws 5000 candidates from the full network; by default
+    the pool is scaled with the graph.  Candidates are drawn without
+    replacement, deterministically under ``seed``.
+    """
+    if size is None:
+        # The paper's pool is ~0.9% of the node set; we use 3x that
+        # ratio so the scaled-down pool still offers enough per-group
+        # hub choices, floored at 60 candidates.
+        size = max(int(round(CANDIDATE_POOL * scale * 3)), 60)
+        size = min(size, graph.number_of_nodes())
+    if not 1 <= size <= graph.number_of_nodes():
+        raise ConfigError(
+            f"candidate pool size {size} out of range "
+            f"[1, {graph.number_of_nodes()}]"
+        )
+    rng = ensure_rng(seed)
+    nodes = graph.nodes()
+    picks = rng.choice(len(nodes), size=size, replace=False)
+    return [nodes[int(i)] for i in sorted(picks)]

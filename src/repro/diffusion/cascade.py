@@ -1,0 +1,89 @@
+"""Cascade outcome records.
+
+A single run of a diffusion process is summarised by the activation
+timestamp of every node (Section 3.1 of the paper): ``t_v = 0`` for
+seeds, ``t_v = t`` for nodes first activated at step ``t``, and the
+sentinel ``-1`` ("not activated") otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, List, Optional
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph, NodeId
+from repro.graph.groups import GroupAssignment
+
+NOT_ACTIVATED = -1
+
+
+@dataclass(frozen=True)
+class CascadeResult:
+    """Outcome of one cascade simulation.
+
+    Attributes
+    ----------
+    graph:
+        The graph the cascade ran on (kept for label/index mapping).
+    seeds:
+        The seed set that initiated the cascade.
+    activation_times:
+        Integer array in dense node-index order; ``-1`` means the node
+        was never activated, ``0`` means it was a seed.
+    """
+
+    graph: DiGraph
+    seeds: FrozenSet[NodeId]
+    activation_times: np.ndarray
+
+    def activated(self, deadline: Optional[float] = None) -> List[NodeId]:
+        """Labels of nodes activated at or before ``deadline``.
+
+        ``deadline=None`` means no deadline (``tau = infinity``).
+        """
+        times = self.activation_times
+        mask = times >= 0
+        if deadline is not None:
+            mask &= times <= deadline
+        return self.graph.labels_of(np.flatnonzero(mask))
+
+    def activation_time(self, node: NodeId) -> int:
+        """Timestamp of ``node`` (``-1`` if never activated)."""
+        return int(self.activation_times[self.graph.index_of(node)])
+
+    def count(self, deadline: Optional[float] = None) -> int:
+        """Number of nodes activated by ``deadline`` (the ``tau``-utility
+        of this single outcome)."""
+        times = self.activation_times
+        mask = times >= 0
+        if deadline is not None:
+            mask &= times <= deadline
+        return int(mask.sum())
+
+    def group_counts(
+        self,
+        assignment: GroupAssignment,
+        deadline: Optional[float] = None,
+    ) -> Dict[Hashable, int]:
+        """Activated-by-deadline counts per group."""
+        times = self.activation_times
+        mask = times >= 0
+        if deadline is not None:
+            mask &= times <= deadline
+        counts: Dict[Hashable, int] = {g: 0 for g in assignment.groups}
+        for index in np.flatnonzero(mask):
+            counts[assignment.group_of(self.graph.label_of(int(index)))] += 1
+        return counts
+
+    @property
+    def horizon(self) -> int:
+        """The last time step at which any activation happened."""
+        times = self.activation_times
+        active = times[times >= 0]
+        return int(active.max()) if active.size else 0
+
+    def __len__(self) -> int:
+        """Total number of activated nodes (no deadline)."""
+        return self.count()

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the common failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """Structural problem with a graph (unknown node, duplicate edge, ...)."""
+
+
+class GroupError(ReproError):
+    """Invalid group assignment (not a partition, unknown group, ...)."""
+
+
+class EstimationError(ReproError):
+    """Invalid estimator configuration or query (bad sample count, unknown
+    candidate source, deadline out of range, ...)."""
+
+
+class OptimizationError(ReproError):
+    """Solver failure: empty candidate pool, exhausted candidates before a
+    coverage quota could be met, invalid budget, ..."""
+
+
+class InfeasibleError(OptimizationError):
+    """The requested constraint cannot be satisfied by any seed set drawn
+    from the candidate pool (e.g. a coverage quota no seed set reaches)."""
+
+
+class ConfigError(ReproError):
+    """Invalid experiment or dataset configuration."""

@@ -1,0 +1,26 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every experiment is registered in
+:mod:`repro.experiments.registry` under the id used throughout
+DESIGN.md (``fig1``, ``fig4a`` .. ``fig10c``, ``thm1``/``thm2``,
+``abl_*``) and returns an
+:class:`~repro.experiments.runner.ExperimentResult` whose rows mirror
+the series the paper plots.  ``quick=True`` shrinks sample counts and
+sweeps for CI/benchmark budgets; ``quick=False`` runs at paper scale.
+
+Run from the command line::
+
+    python -m repro.cli list
+    python -m repro.cli run fig4a
+"""
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+from repro.experiments.runner import ExperimentResult, ShapeCheck
+
+__all__ = [
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+    "ExperimentResult",
+    "ShapeCheck",
+]

@@ -1,0 +1,122 @@
+"""Figure 1: the illustrative-example table.
+
+Reproduces the table comparing an optimal TCIM-BUDGET (P1) solution
+against an optimal FAIRTCIM-BUDGET (P4, ``H = log``) solution on the
+38-node two-group example at deadlines ``tau in {2, 4, inf}`` with
+budget ``B = 2`` and ``p_e = 0.7``.
+
+"Optimal" here is exact subset enumeration over the estimated utility
+(all 703 node pairs scored on a shared world ensemble) — the example is
+small enough that brute force over candidate pairs is cheap once
+distances are precomputed.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import combinations
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.datasets.example import BLUE, RED, illustrative_graph
+from repro.influence.ensemble import WorldEnsemble
+from repro.core.concave import log1p
+from repro.experiments.runner import ExperimentResult, format_deadline
+
+DEADLINES = (math.inf, 4, 2)
+BUDGET = 2
+
+
+def _best_pair(
+    ensemble: WorldEnsemble, deadline: float, fair: bool
+) -> Tuple[Tuple[str, str], np.ndarray]:
+    """Enumerate all seed pairs; return the arg-max of P1's or P4's
+    objective with its per-group utilities."""
+    best_value = -math.inf
+    best_pair: Tuple[str, str] = ("", "")
+    best_utilities = np.zeros(len(ensemble.group_names))
+    for a, b in combinations(range(ensemble.n_candidates), BUDGET):
+        state = ensemble.empty_state()
+        ensemble.add_seed(state, a)
+        ensemble.add_seed(state, b)
+        utilities = ensemble.group_utilities(state, deadline)
+        if fair:
+            value = float(log1p(utilities).sum())
+        else:
+            value = float(utilities.sum())
+        if value > best_value + 1e-12:
+            best_value = value
+            best_pair = (str(ensemble.label(a)), str(ensemble.label(b)))
+            best_utilities = utilities
+    return best_pair, best_utilities
+
+
+def run_fig1(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    """Regenerate the Figure-1 table."""
+    n_worlds = 300 if quick else 2000
+    graph, assignment = illustrative_graph()
+    ensemble = WorldEnsemble(graph, assignment, n_worlds=n_worlds, seed=seed)
+    n = graph.number_of_nodes()
+    sizes = {g: assignment.size(g) for g in assignment.groups}
+    blue_i = ensemble.group_names.index(BLUE)
+    red_i = ensemble.group_names.index(RED)
+
+    result = ExperimentResult(
+        experiment_id="fig1",
+        title=(
+            "Illustrative example: optimal P1 vs optimal P4 (H=log), "
+            f"B={BUDGET}, p_e=0.7, |V|=38 (blue=26, red=12)"
+        ),
+        columns=[
+            "tau",
+            "P1 seeds", "P1 total", "P1 blue", "P1 red",
+            "P4 seeds", "P4 total", "P4 blue", "P4 red",
+        ],
+        notes=(
+            "Utilities normalized as in the paper: total/|V|, group/|V_i|. "
+            "Topology is our reconstruction of the unpublished example "
+            "graph (see datasets.example)."
+        ),
+    )
+
+    p1_red: List[float] = []
+    p1_disparity: List[float] = []
+    p4_disparity: List[float] = []
+    for deadline in DEADLINES:
+        (p1_seeds, p1_util) = _best_pair(ensemble, deadline, fair=False)
+        (p4_seeds, p4_util) = _best_pair(ensemble, deadline, fair=True)
+        p1_frac = p1_util / np.asarray([sizes[g] for g in ensemble.group_names])
+        p4_frac = p4_util / np.asarray([sizes[g] for g in ensemble.group_names])
+        result.add_row(
+            format_deadline(deadline),
+            "{" + ",".join(p1_seeds) + "}",
+            float(p1_util.sum()) / n,
+            float(p1_frac[blue_i]),
+            float(p1_frac[red_i]),
+            "{" + ",".join(p4_seeds) + "}",
+            float(p4_util.sum()) / n,
+            float(p4_frac[blue_i]),
+            float(p4_frac[red_i]),
+        )
+        p1_red.append(float(p1_frac[red_i]))
+        p1_disparity.append(abs(float(p1_frac[blue_i] - p1_frac[red_i])))
+        p4_disparity.append(abs(float(p4_frac[blue_i] - p4_frac[red_i])))
+
+    # Shape checks mirroring the paper's reading of the table.
+    result.check(
+        "P1 disparity grows as the deadline tightens (inf -> 4 -> 2)",
+        p1_disparity[0] <= p1_disparity[-1] + 1e-9,
+        f"disparities by deadline {dict(zip(map(format_deadline, DEADLINES), [round(d, 3) for d in p1_disparity]))}",
+    )
+    result.check(
+        "P1's red-group utility collapses to ~0 at tau=2",
+        p1_red[-1] <= 0.02,
+        f"red fraction at tau=2: {p1_red[-1]:.4f}",
+    )
+    result.check(
+        "P4 has lower disparity than P1 at every deadline",
+        all(f <= u + 1e-9 for f, u in zip(p4_disparity, p1_disparity)),
+        f"P4 {['%.3f' % d for d in p4_disparity]} vs P1 {['%.3f' % d for d in p1_disparity]}",
+    )
+    return result

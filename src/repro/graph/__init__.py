@@ -1,0 +1,24 @@
+"""Graph substrate: directed graphs with activation probabilities.
+
+This package is the foundation everything else builds on:
+
+- :class:`~repro.graph.digraph.DiGraph` — adjacency-list directed graph
+  whose edges carry Independent-Cascade activation probabilities and
+  whose nodes may carry a group label.
+- :class:`~repro.graph.groups.GroupAssignment` — validated partition of
+  the node set into socially salient groups.
+- :mod:`~repro.graph.generators` — synthetic graph families (stochastic
+  block model, Erdős–Rényi, Barabási–Albert, deterministic shapes).
+- :mod:`~repro.graph.metrics` — structural statistics (degrees,
+  components, group mixing).
+- :mod:`~repro.graph.centrality` — degree / PageRank / harmonic
+  closeness / Brandes betweenness.
+- :mod:`~repro.graph.clustering` — spectral clustering (used to derive
+  the topological groups of the Facebook-SNAP experiment).
+- :mod:`~repro.graph.io` — edge-list and JSON persistence.
+"""
+
+from repro.graph.digraph import DiGraph
+from repro.graph.groups import GroupAssignment
+
+__all__ = ["DiGraph", "GroupAssignment"]

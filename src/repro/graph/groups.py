@@ -1,0 +1,156 @@
+"""Socially salient group partitions.
+
+The paper divides the node set ``V`` into ``k`` disjoint groups
+``V_1 .. V_k`` (Section 4.1).  :class:`GroupAssignment` is the validated
+representation of such a partition: every node belongs to exactly one
+group, groups are non-empty, and the class provides the dense boolean
+masks the numerical estimator layers consume.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Hashable, Iterable, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import GroupError
+from repro.graph.digraph import DiGraph, NodeId
+
+
+class GroupAssignment:
+    """A partition of a graph's nodes into disjoint, non-empty groups.
+
+    Parameters
+    ----------
+    membership:
+        Mapping from node label to group label.  Must cover every node
+        of the graph it is used with (validated by :meth:`masks` /
+        :meth:`validate_for`).
+    """
+
+    def __init__(self, membership: Mapping[NodeId, Hashable]) -> None:
+        if not membership:
+            raise GroupError("group assignment must contain at least one node")
+        self._membership: Dict[NodeId, Hashable] = dict(membership)
+        counts = Counter(self._membership.values())
+        # Deterministic group order: sort by repr so mixed-type labels work.
+        self._groups: List[Hashable] = sorted(counts, key=repr)
+        self._sizes: Dict[Hashable, int] = dict(counts)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: DiGraph) -> "GroupAssignment":
+        """Build from the per-node group attribute stored in ``graph``.
+
+        Raises :class:`GroupError` if any node lacks a group label.
+        """
+        membership: Dict[NodeId, Hashable] = {}
+        unlabeled: List[NodeId] = []
+        for node in graph.nodes():
+            group = graph.group_of(node)
+            if group is None:
+                unlabeled.append(node)
+            else:
+                membership[node] = group
+        if unlabeled:
+            raise GroupError(
+                f"{len(unlabeled)} node(s) have no group label, e.g. {unlabeled[:5]!r}"
+            )
+        return cls(membership)
+
+    @classmethod
+    def from_labels(cls, nodes: Sequence[NodeId], labels: Sequence[Hashable]) -> "GroupAssignment":
+        """Zip parallel ``nodes`` / ``labels`` sequences into an assignment."""
+        if len(nodes) != len(labels):
+            raise GroupError(
+                f"nodes ({len(nodes)}) and labels ({len(labels)}) differ in length"
+            )
+        return cls(dict(zip(nodes, labels)))
+
+    # ------------------------------------------------------------------
+    @property
+    def groups(self) -> List[Hashable]:
+        """Group labels in deterministic order (a copy)."""
+        return list(self._groups)
+
+    @property
+    def k(self) -> int:
+        """Number of groups."""
+        return len(self._groups)
+
+    def size(self, group: Hashable) -> int:
+        try:
+            return self._sizes[group]
+        except KeyError:
+            raise GroupError(f"unknown group {group!r}") from None
+
+    def sizes(self) -> np.ndarray:
+        """Group sizes aligned with :attr:`groups` order."""
+        return np.asarray([self._sizes[g] for g in self._groups], dtype=np.int64)
+
+    def group_of(self, node: NodeId) -> Hashable:
+        try:
+            return self._membership[node]
+        except KeyError:
+            raise GroupError(f"node {node!r} has no group assignment") from None
+
+    def members(self, group: Hashable) -> List[NodeId]:
+        if group not in self._sizes:
+            raise GroupError(f"unknown group {group!r}")
+        return [n for n, g in self._membership.items() if g == group]
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._membership
+
+    def __len__(self) -> int:
+        return len(self._membership)
+
+    # ------------------------------------------------------------------
+    def validate_for(self, graph: DiGraph) -> None:
+        """Check the assignment is a partition of exactly ``graph``'s nodes."""
+        graph_nodes = set(graph.nodes())
+        assigned = set(self._membership)
+        missing = graph_nodes - assigned
+        extra = assigned - graph_nodes
+        if missing:
+            raise GroupError(
+                f"{len(missing)} graph node(s) missing from assignment, "
+                f"e.g. {sorted(missing, key=repr)[:5]!r}"
+            )
+        if extra:
+            raise GroupError(
+                f"{len(extra)} assigned node(s) not in graph, "
+                f"e.g. {sorted(extra, key=repr)[:5]!r}"
+            )
+
+    def masks(self, graph: DiGraph) -> np.ndarray:
+        """Boolean membership matrix of shape ``(k, n)``.
+
+        Row ``i`` marks the members of ``self.groups[i]`` in the graph's
+        dense index order.  This is the structure the influence
+        estimators use to turn per-node activation times into per-group
+        counts with one vectorised reduction.
+        """
+        self.validate_for(graph)
+        n = graph.number_of_nodes()
+        masks = np.zeros((self.k, n), dtype=bool)
+        group_row = {g: i for i, g in enumerate(self._groups)}
+        for node, group in self._membership.items():
+            masks[group_row[group], graph.index_of(node)] = True
+        return masks
+
+    def restricted_to(self, nodes: Iterable[NodeId]) -> "GroupAssignment":
+        """Assignment restricted to ``nodes`` (for subgraph experiments)."""
+        keep = set(nodes)
+        sub = {n: g for n, g in self._membership.items() if n in keep}
+        if not sub:
+            raise GroupError("restriction produced an empty assignment")
+        return GroupAssignment(sub)
+
+    def as_dict(self) -> Dict[NodeId, Hashable]:
+        return dict(self._membership)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{g!r}: {self._sizes[g]}" for g in self._groups)
+        return f"GroupAssignment(k={self.k}, sizes={{{parts}}})"

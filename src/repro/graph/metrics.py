@@ -1,0 +1,199 @@
+"""Structural graph statistics.
+
+These are the quantities the paper uses to *explain* disparity
+(Section 4.2): group sizes, within- versus across-group connectivity,
+and the centrality gap between groups.  They also power the dataset
+summary blocks in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph, NodeId
+from repro.graph.groups import GroupAssignment
+
+
+def degree_array(graph: DiGraph, direction: str = "out") -> np.ndarray:
+    """Per-node degree in dense index order (``"out"``, ``"in"`` or ``"total"``)."""
+    if direction not in {"out", "in", "total"}:
+        raise ValueError(f"direction must be 'out', 'in' or 'total', got {direction!r}")
+    n = graph.number_of_nodes()
+    out = np.zeros(n, dtype=np.int64)
+    inn = np.zeros(n, dtype=np.int64)
+    for u, v, _ in graph.edges():
+        out[graph.index_of(u)] += 1
+        inn[graph.index_of(v)] += 1
+    if direction == "out":
+        return out
+    if direction == "in":
+        return inn
+    return out + inn
+
+
+def density(graph: DiGraph) -> float:
+    """Directed density ``m / (n * (n - 1))``; 0 for graphs with < 2 nodes."""
+    n = graph.number_of_nodes()
+    if n < 2:
+        return 0.0
+    return graph.number_of_edges() / (n * (n - 1))
+
+
+def average_degree(graph: DiGraph) -> float:
+    """Mean out-degree (equals mean in-degree)."""
+    n = graph.number_of_nodes()
+    if n == 0:
+        return 0.0
+    return graph.number_of_edges() / n
+
+
+def weakly_connected_components(graph: DiGraph) -> List[List[NodeId]]:
+    """Weakly connected components, largest first."""
+    n = graph.number_of_nodes()
+    seen = np.zeros(n, dtype=bool)
+    # Build an undirected view once for O(n + m) traversal.
+    neighbours: List[List[int]] = [[] for _ in range(n)]
+    for u, v, _ in graph.edges():
+        ui, vi = graph.index_of(u), graph.index_of(v)
+        neighbours[ui].append(vi)
+        neighbours[vi].append(ui)
+    components: List[List[NodeId]] = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        queue = deque([start])
+        seen[start] = True
+        comp = []
+        while queue:
+            node = queue.popleft()
+            comp.append(graph.label_of(node))
+            for nxt in neighbours[node]:
+                if not seen[nxt]:
+                    seen[nxt] = True
+                    queue.append(nxt)
+        components.append(comp)
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def bfs_distances(graph: DiGraph, source: NodeId) -> Dict[NodeId, int]:
+    """Unweighted shortest-path (hop) distances from ``source``.
+
+    Only reachable nodes appear in the result; the source maps to 0.
+    This is the reference implementation the vectorised estimator
+    layers are tested against.
+    """
+    start = graph.index_of(source)
+    n = graph.number_of_nodes()
+    dist = np.full(n, -1, dtype=np.int64)
+    dist[start] = 0
+    queue = deque([start])
+    succ_cache = [graph.indices_of(graph.successors(graph.label_of(i))) for i in range(n)]
+    while queue:
+        node = queue.popleft()
+        for nxt in succ_cache[node]:
+            if dist[nxt] < 0:
+                dist[nxt] = dist[node] + 1
+                queue.append(int(nxt))
+    return {
+        graph.label_of(i): int(d) for i, d in enumerate(dist) if d >= 0
+    }
+
+
+@dataclass
+class MixingSummary:
+    """Within/across-group edge structure of a graph.
+
+    ``edge_counts[i][j]`` counts directed edges from group ``i`` to
+    group ``j`` (group order as in the assignment).  ``homophily_index``
+    is the fraction of directed edges that stay within a group.
+    """
+
+    groups: List[Hashable]
+    edge_counts: np.ndarray
+    group_sizes: np.ndarray
+    homophily_index: float
+    mean_degree_by_group: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+    def within_edges(self, group: Hashable) -> int:
+        i = self.groups.index(group)
+        return int(self.edge_counts[i, i])
+
+    def across_edges(self, group_a: Hashable, group_b: Hashable) -> int:
+        i, j = self.groups.index(group_a), self.groups.index(group_b)
+        return int(self.edge_counts[i, j] + self.edge_counts[j, i])
+
+
+def mixing_summary(graph: DiGraph, assignment: GroupAssignment) -> MixingSummary:
+    """Compute the group mixing matrix and homophily index."""
+    assignment.validate_for(graph)
+    groups = assignment.groups
+    row = {g: i for i, g in enumerate(groups)}
+    k = len(groups)
+    counts = np.zeros((k, k), dtype=np.int64)
+    degrees = np.zeros(k, dtype=np.float64)
+    for u, v, _ in graph.edges():
+        gi = row[assignment.group_of(u)]
+        gj = row[assignment.group_of(v)]
+        counts[gi, gj] += 1
+        degrees[gi] += 1
+    m = counts.sum()
+    homophily = float(np.trace(counts) / m) if m else 0.0
+    sizes = assignment.sizes().astype(np.float64)
+    mean_deg = np.divide(degrees, sizes, out=np.zeros_like(degrees), where=sizes > 0)
+    return MixingSummary(
+        groups=groups,
+        edge_counts=counts,
+        group_sizes=assignment.sizes(),
+        homophily_index=homophily,
+        mean_degree_by_group=mean_deg,
+    )
+
+
+@dataclass
+class GraphSummary:
+    """One-paragraph description of a dataset, for reports and logs."""
+
+    nodes: int
+    directed_edges: int
+    undirected_edges: int
+    density: float
+    average_degree: float
+    components: int
+    largest_component: int
+    groups: Optional[List[Tuple[Hashable, int]]] = None
+
+    def as_text(self) -> str:
+        lines = [
+            f"nodes={self.nodes} directed_edges={self.directed_edges} "
+            f"(~{self.undirected_edges} ties) density={self.density:.5f} "
+            f"avg_degree={self.average_degree:.2f}",
+            f"components={self.components} largest={self.largest_component}",
+        ]
+        if self.groups:
+            lines.append(
+                "groups: " + ", ".join(f"{g!r}:{s}" for g, s in self.groups)
+            )
+        return "\n".join(lines)
+
+
+def summarize(graph: DiGraph, assignment: Optional[GroupAssignment] = None) -> GraphSummary:
+    """Build a :class:`GraphSummary` for ``graph``."""
+    comps = weakly_connected_components(graph)
+    groups = None
+    if assignment is not None:
+        groups = [(g, assignment.size(g)) for g in assignment.groups]
+    return GraphSummary(
+        nodes=graph.number_of_nodes(),
+        directed_edges=graph.number_of_edges(),
+        undirected_edges=graph.number_of_edges() // 2,
+        density=density(graph),
+        average_degree=average_degree(graph),
+        components=len(comps),
+        largest_component=len(comps[0]) if comps else 0,
+        groups=groups,
+    )

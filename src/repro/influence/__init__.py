@@ -1,0 +1,46 @@
+"""Influence estimation: the time-critical utility ``f_tau`` (Eq. 1).
+
+Three estimators, all agreeing in expectation:
+
+- :class:`~repro.influence.ensemble.WorldEnsemble` — the workhorse:
+  common-random-numbers estimation over ``R`` pre-sampled live-edge
+  worlds with pre-computed per-world BFS distance tensors, supporting
+  O(R·n) incremental marginal-gain queries (what the greedy solvers
+  call thousands of times).
+- :func:`~repro.influence.montecarlo.monte_carlo_utility` — naive
+  forward-simulation Monte Carlo (the authors' estimator); used for
+  cross-validation.
+- :func:`~repro.influence.exact.exact_group_utilities` — exact
+  expectation by enumerating every live-edge world on tiny graphs;
+  the ground truth for tests and for the Figure-1 example.
+
+Plus the fairness measurements of Section 4:
+:func:`~repro.influence.utility.disparity` implements Eq. 2.
+"""
+
+from repro.influence.ensemble import InfluenceState, WorldEnsemble
+from repro.influence.exact import exact_group_utilities, exact_utility
+from repro.influence.montecarlo import monte_carlo_group_utilities, monte_carlo_utility
+from repro.influence.rrsets import RRCollection, ris_greedy, sample_rr_sets
+from repro.influence.utility import (
+    UtilityReport,
+    disparity,
+    normalized_utilities,
+    utility_report,
+)
+
+__all__ = [
+    "WorldEnsemble",
+    "InfluenceState",
+    "exact_utility",
+    "exact_group_utilities",
+    "monte_carlo_utility",
+    "monte_carlo_group_utilities",
+    "RRCollection",
+    "sample_rr_sets",
+    "ris_greedy",
+    "disparity",
+    "normalized_utilities",
+    "UtilityReport",
+    "utility_report",
+]

@@ -1,0 +1,134 @@
+"""Fairness measurements over group utilities (Section 4).
+
+The paper's unfairness measure (Eq. 2) is the maximum pairwise gap in
+*normalized* group utilities:
+
+    max_{i,j} | f_tau(S;V_i,G)/|V_i| - f_tau(S;V_j,G)/|V_j| |
+
+:func:`disparity` computes it from a vector of normalized utilities;
+:func:`utility_report` bundles the full per-group picture of a seed
+set into the record every experiment row is rendered from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Sequence, Union
+
+import numpy as np
+
+from repro.errors import GroupError
+
+GroupVector = Union[Sequence[float], np.ndarray, Mapping[Hashable, float]]
+
+
+def _as_array(values: GroupVector) -> np.ndarray:
+    if isinstance(values, Mapping):
+        keys = sorted(values, key=repr)
+        return np.asarray([values[k] for k in keys], dtype=np.float64)
+    return np.asarray(values, dtype=np.float64)
+
+
+def normalized_utilities(
+    group_utilities: GroupVector, group_sizes: GroupVector
+) -> np.ndarray:
+    """Divide per-group utilities by group sizes (aligned orders)."""
+    utilities = _as_array(group_utilities)
+    sizes = _as_array(group_sizes)
+    if utilities.shape != sizes.shape:
+        raise GroupError(
+            f"utilities ({utilities.shape}) and sizes ({sizes.shape}) misaligned"
+        )
+    if (sizes <= 0).any():
+        raise GroupError("group sizes must be positive")
+    return utilities / sizes
+
+
+def disparity(normalized: GroupVector) -> float:
+    """Eq. 2: the maximum pairwise absolute gap in normalized utilities.
+
+    With a single group the disparity is 0 by convention.
+    """
+    values = _as_array(normalized)
+    if values.size == 0:
+        raise GroupError("need at least one group")
+    return float(values.max() - values.min())
+
+
+@dataclass(frozen=True)
+class UtilityReport:
+    """Per-group utility picture for one seed set at one deadline.
+
+    ``fraction_influenced`` is the paper's normalized utility
+    (``f/|V_i|``); ``population_fraction`` is total influence over
+    ``|V|`` (the solid lines in the figures).
+    """
+
+    groups: List[Hashable]
+    utilities: np.ndarray
+    group_sizes: np.ndarray
+    deadline: float
+    seed_count: int
+
+    @property
+    def fraction_influenced(self) -> np.ndarray:
+        return self.utilities / self.group_sizes
+
+    @property
+    def total_utility(self) -> float:
+        return float(self.utilities.sum())
+
+    @property
+    def population_fraction(self) -> float:
+        return self.total_utility / float(self.group_sizes.sum())
+
+    @property
+    def disparity(self) -> float:
+        return disparity(self.fraction_influenced)
+
+    def fraction_of(self, group: Hashable) -> float:
+        try:
+            i = self.groups.index(group)
+        except ValueError:
+            raise GroupError(f"unknown group {group!r}") from None
+        return float(self.utilities[i] / self.group_sizes[i])
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "deadline": self.deadline,
+            "seed_count": self.seed_count,
+            "total_fraction": self.population_fraction,
+            "disparity": self.disparity,
+            "groups": {
+                str(g): float(f)
+                for g, f in zip(self.groups, self.fraction_influenced)
+            },
+        }
+
+
+def utility_report(
+    groups: Sequence[Hashable],
+    utilities: GroupVector,
+    group_sizes: GroupVector,
+    deadline: float,
+    seed_count: int,
+) -> UtilityReport:
+    """Validate shapes and build a :class:`UtilityReport`."""
+    util = _as_array(utilities)
+    sizes = _as_array(group_sizes)
+    if not (len(groups) == util.size == sizes.size):
+        raise GroupError(
+            f"groups ({len(groups)}), utilities ({util.size}) and sizes "
+            f"({sizes.size}) misaligned"
+        )
+    if (sizes <= 0).any():
+        raise GroupError("group sizes must be positive")
+    if (util < -1e-9).any():
+        raise GroupError("utilities must be non-negative")
+    return UtilityReport(
+        groups=list(groups),
+        utilities=util,
+        group_sizes=sizes,
+        deadline=deadline,
+        seed_count=seed_count,
+    )

@@ -1,0 +1,138 @@
+"""Unit tests for the brute-force exact solvers (P1-P6 references)."""
+
+import math
+
+import pytest
+
+from repro.errors import InfeasibleError, OptimizationError
+from repro.core.brute import brute_force_budget, brute_force_cover
+from repro.core.concave import identity, log1p
+from repro.influence.exact import exact_utility
+from repro.graph.digraph import DiGraph
+from repro.graph.groups import GroupAssignment
+
+
+class TestBruteForceBudget:
+    def test_finds_true_optimum(self, small_two_group):
+        graph, assignment = small_two_group
+        best = brute_force_budget(graph, assignment, budget=2, deadline=2)
+        # Exhaustive cross-check against every pair.
+        from itertools import combinations
+
+        for pair in combinations(graph.nodes(), 2):
+            assert (
+                exact_utility(graph, pair, 2)
+                <= best.total_utility + 1e-9
+            )
+
+    def test_p1_label(self, small_two_group):
+        graph, assignment = small_two_group
+        best = brute_force_budget(graph, assignment, budget=1, deadline=1)
+        assert "P1" in best.problem
+
+    def test_hub_wins_budget_one(self, small_two_group):
+        graph, assignment = small_two_group
+        best = brute_force_budget(graph, assignment, budget=1, deadline=1)
+        assert best.seeds == ("h",)
+
+    def test_concave_objective_changes_solution_label(self, small_two_group):
+        graph, assignment = small_two_group
+        fair = brute_force_budget(
+            graph, assignment, budget=2, deadline=2, concave=log1p
+        )
+        assert "P4" in fair.problem
+        # The fair optimum must weakly improve the minority group over P1.
+        unfair = brute_force_budget(graph, assignment, budget=2, deadline=2)
+        small_i = fair.groups.index("small")
+        assert fair.normalized[small_i] >= unfair.normalized[small_i] - 1e-9
+
+    def test_p3_disparity_constraint(self, small_two_group):
+        graph, assignment = small_two_group
+        constrained = brute_force_budget(
+            graph, assignment, budget=2, deadline=2, max_disparity=0.3
+        )
+        assert constrained.disparity <= 0.3 + 1e-9
+        assert "P3" in constrained.problem
+
+    def test_p3_infeasible(self, small_two_group):
+        graph, assignment = small_two_group
+        with pytest.raises(InfeasibleError):
+            brute_force_budget(
+                graph, assignment, budget=1, deadline=0, max_disparity=0.0
+            )
+
+    def test_candidate_restriction(self, small_two_group):
+        graph, assignment = small_two_group
+        best = brute_force_budget(
+            graph, assignment, budget=1, deadline=1, candidates=["m1", "m2"]
+        )
+        assert best.seeds[0] in {"m1", "m2"}
+
+    def test_validation(self, small_two_group):
+        graph, assignment = small_two_group
+        with pytest.raises(OptimizationError):
+            brute_force_budget(graph, assignment, budget=0, deadline=1)
+
+
+class TestBruteForceCover:
+    def test_minimal_size_population_quota(self, small_two_group):
+        graph, assignment = small_two_group
+        # Deadline 0: only seeds count, so quota q needs ceil(q*8) seeds.
+        solution = brute_force_cover(
+            graph, assignment, quota=0.5, deadline=0, per_group=False
+        )
+        assert len(solution.seeds) == 4
+        assert "P2" in solution.problem
+
+    def test_per_group_quota_needs_minority_seed(self, small_two_group):
+        graph, assignment = small_two_group
+        solution = brute_force_cover(
+            graph, assignment, quota=0.3, deadline=0, per_group=True
+        )
+        groups = {assignment.group_of(s) for s in solution.seeds}
+        assert "small" in groups
+        assert "P6" in solution.problem
+
+    def test_per_group_needs_at_least_population_size(self, small_two_group):
+        graph, assignment = small_two_group
+        p2 = brute_force_cover(
+            graph, assignment, quota=0.4, deadline=1, per_group=False
+        )
+        p6 = brute_force_cover(
+            graph, assignment, quota=0.4, deadline=1, per_group=True
+        )
+        assert len(p6.seeds) >= len(p2.seeds)
+
+    def test_p5_constraint(self, small_two_group):
+        graph, assignment = small_two_group
+        solution = brute_force_cover(
+            graph,
+            assignment,
+            quota=0.25,
+            deadline=0,
+            per_group=False,
+            max_disparity=0.5,
+        )
+        assert solution.disparity <= 0.5 + 1e-9
+        assert "P5" in solution.problem
+
+    def test_infeasible(self, small_two_group):
+        graph, assignment = small_two_group
+        # Deadline 0 with candidates restricted to one node cannot
+        # cover half the population.
+        with pytest.raises(InfeasibleError):
+            brute_force_cover(
+                graph,
+                assignment,
+                quota=0.5,
+                deadline=0,
+                per_group=False,
+                candidates=["h"],
+            )
+
+    def test_invalid_quota(self, small_two_group):
+        graph, assignment = small_two_group
+        with pytest.raises(OptimizationError):
+            brute_force_cover(
+                graph, assignment, quota=0.0, deadline=1, per_group=False
+            )

@@ -1,0 +1,64 @@
+"""Unit tests for CascadeResult."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.cascade import NOT_ACTIVATED, CascadeResult
+from repro.graph.digraph import DiGraph
+from repro.graph.groups import GroupAssignment
+
+
+@pytest.fixture
+def result(two_group_line):
+    graph, _ = two_group_line
+    # a seeded; b at t=1; c at t=2; d never activated.
+    times = np.array([0, 1, 2, NOT_ACTIVATED])
+    return CascadeResult(
+        graph=graph, seeds=frozenset({"a"}), activation_times=times
+    )
+
+
+class TestActivated:
+    def test_no_deadline(self, result):
+        assert sorted(result.activated()) == ["a", "b", "c"]
+
+    def test_with_deadline(self, result):
+        assert sorted(result.activated(deadline=1)) == ["a", "b"]
+
+    def test_zero_deadline_only_seeds(self, result):
+        assert result.activated(deadline=0) == ["a"]
+
+
+class TestCounts:
+    def test_count(self, result):
+        assert result.count() == 3
+        assert result.count(deadline=1) == 2
+        assert len(result) == 3
+
+    def test_group_counts(self, result, two_group_line):
+        _, assignment = two_group_line
+        counts = result.group_counts(assignment)
+        assert counts == {"left": 2, "right": 1}
+
+    def test_group_counts_with_deadline(self, result, two_group_line):
+        _, assignment = two_group_line
+        counts = result.group_counts(assignment, deadline=1)
+        assert counts == {"left": 2, "right": 0}
+
+
+class TestAccessors:
+    def test_activation_time(self, result):
+        assert result.activation_time("a") == 0
+        assert result.activation_time("c") == 2
+        assert result.activation_time("d") == NOT_ACTIVATED
+
+    def test_horizon(self, result):
+        assert result.horizon == 2
+
+    def test_horizon_empty(self):
+        graph = DiGraph()
+        graph.add_node("x")
+        times = np.array([NOT_ACTIVATED])
+        empty = CascadeResult(graph=graph, seeds=frozenset(), activation_times=times)
+        assert empty.horizon == 0
+        assert empty.count() == 0

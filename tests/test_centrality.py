@@ -1,0 +1,137 @@
+"""Unit tests for centrality measures."""
+
+import numpy as np
+import pytest
+
+from repro.graph.centrality import (
+    betweenness,
+    degree_centrality,
+    group_centrality_gap,
+    harmonic_closeness,
+    pagerank,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import complete_graph, path_graph, star_graph
+from repro.graph.groups import GroupAssignment
+
+
+class TestDegreeCentrality:
+    def test_star_hub(self):
+        scores = degree_centrality(star_graph(5), "out")
+        assert scores[0] == 1.0
+        assert scores[1] == 0.0
+
+    def test_total_direction(self, tiny_path):
+        scores = degree_centrality(tiny_path, "total")
+        assert scores[1] == pytest.approx(2 / 3)
+
+    def test_invalid_direction(self, tiny_path):
+        with pytest.raises(ValueError):
+            degree_centrality(tiny_path, "diagonal")
+
+    def test_empty_graph(self):
+        assert degree_centrality(DiGraph()) == {}
+
+
+class TestPagerank:
+    def test_sums_to_one(self):
+        graph = complete_graph(5)
+        ranks = pagerank(graph)
+        assert sum(ranks.values()) == pytest.approx(1.0)
+
+    def test_symmetric_graph_uniform(self):
+        graph = complete_graph(4)
+        ranks = pagerank(graph)
+        values = list(ranks.values())
+        assert max(values) - min(values) < 1e-8
+
+    def test_sink_handling(self):
+        # Node 2 is a sink (dangling); PageRank must still normalise.
+        graph = DiGraph()
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        ranks = pagerank(graph)
+        assert sum(ranks.values()) == pytest.approx(1.0)
+        assert ranks[2] > ranks[0]
+
+    def test_hub_attracts_rank(self):
+        graph = star_graph(4).reverse()  # leaves point at the hub
+        ranks = pagerank(graph)
+        assert ranks[0] == max(ranks.values())
+
+    def test_invalid_damping(self, tiny_path):
+        with pytest.raises(ValueError):
+            pagerank(tiny_path, damping=1.0)
+
+
+class TestHarmonicCloseness:
+    def test_path_head_highest(self, tiny_path):
+        scores = harmonic_closeness(tiny_path)
+        assert scores[0] == pytest.approx(1 + 0.5 + 1 / 3)
+        assert scores[3] == 0.0
+
+    def test_disconnected_contributes_zero(self):
+        graph = DiGraph()
+        graph.add_edge("a", "b")
+        graph.add_node("isolated")
+        scores = harmonic_closeness(graph)
+        assert scores["isolated"] == 0.0
+        assert scores["a"] == 1.0
+
+
+class TestBetweenness:
+    def test_path_middle_highest(self):
+        graph = path_graph(5)
+        # Make it undirected so interior nodes mediate paths both ways.
+        for u in range(4):
+            graph.add_edge(u + 1, u)
+        scores = betweenness(graph)
+        assert scores[2] == max(scores.values())
+        assert scores[0] == 0.0
+
+    def test_star_hub_mediates_everything(self):
+        graph = star_graph(4)
+        for leaf in (1, 2, 3, 4):
+            graph.add_edge(leaf, 0)
+        scores = betweenness(graph, normalized=False)
+        # All 4*3 leaf-to-leaf shortest paths pass through the hub.
+        assert scores[0] == pytest.approx(12.0)
+
+    def test_normalization(self):
+        graph = star_graph(4)
+        for leaf in (1, 2, 3, 4):
+            graph.add_edge(leaf, 0)
+        normalized = betweenness(graph, normalized=True)
+        assert normalized[0] == pytest.approx(12.0 / (4 * 3))
+
+
+class TestGroupGap:
+    def _fixture(self):
+        graph = DiGraph()
+        graph.add_node("hub", group="big")
+        for i in range(3):
+            graph.add_node(f"b{i}", group="big")
+            graph.add_undirected_edge("hub", f"b{i}")
+        graph.add_node("m0", group="small")
+        graph.add_node("m1", group="small")
+        graph.add_undirected_edge("m0", "m1")
+        graph.add_undirected_edge("hub", "m0")
+        return graph, GroupAssignment.from_graph(graph)
+
+    @pytest.mark.parametrize(
+        "measure", ["degree", "pagerank", "harmonic", "betweenness"]
+    )
+    def test_measures_run(self, measure):
+        graph, assignment = self._fixture()
+        gap = group_centrality_gap(graph, assignment, measure)
+        assert set(gap) == {"big", "small"}
+
+    def test_majority_more_central_by_degree(self):
+        graph, assignment = self._fixture()
+        gap = group_centrality_gap(graph, assignment, "degree")
+        assert gap["big"] > gap["small"]
+
+    def test_unknown_measure(self):
+        graph, assignment = self._fixture()
+        with pytest.raises(ValueError):
+            group_centrality_gap(graph, assignment, "eigen-foo")

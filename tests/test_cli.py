@@ -1,0 +1,76 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import ConfigError
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_present(self):
+        ids = set(list_experiments())
+        expected = {
+            "fig1",
+            "fig4a", "fig4b", "fig4c",
+            "fig5a", "fig5b", "fig5c",
+            "fig6a", "fig6b", "fig6c",
+            "fig7a", "fig7b", "fig7c",
+            "fig8a", "fig8b", "fig8c",
+            "fig9a", "fig9b", "fig9c",
+            "fig10a", "fig10b", "fig10c",
+            "thm1", "thm2",
+            "abl_h", "abl_celf", "abl_samples", "abl_lt",
+        }
+        assert expected <= ids
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ConfigError, match="unknown experiment"):
+            get_experiment("fig99")
+
+    def test_run_experiment_returns_result(self):
+        result = run_experiment("abl_celf", quick=True, seed=0)
+        assert result.experiment_id == "abl_celf"
+        assert result.rows
+
+    def test_registry_functions_callable(self):
+        for fn in EXPERIMENTS.values():
+            assert callable(fn)
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_flags(self):
+        args = build_parser().parse_args(["run", "fig1", "--quick", "--seed", "7"])
+        assert args.experiment == "fig1"
+        assert args.quick and args.seed == 7
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_prints_ids(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4a" in out and "thm2" in out
+
+    def test_run_single_experiment(self, capsys):
+        code = main(["run", "abl_celf", "--quick"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "CELF" in out
+        assert "[PASS]" in out
+
+    def test_run_unknown_experiment(self):
+        with pytest.raises(ConfigError):
+            main(["run", "nope", "--quick"])

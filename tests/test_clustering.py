@@ -1,0 +1,101 @@
+"""Unit tests for spectral clustering and k-means."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.clustering import kmeans, spectral_embedding, spectral_groups
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import stochastic_block_model
+
+
+class TestKmeans:
+    def test_separated_blobs(self):
+        rng = np.random.default_rng(0)
+        blob_a = rng.normal(0.0, 0.1, size=(20, 2))
+        blob_b = rng.normal(5.0, 0.1, size=(25, 2))
+        points = np.vstack([blob_a, blob_b])
+        labels, centers = kmeans(points, 2, seed=0)
+        assert len(set(labels[:20])) == 1
+        assert len(set(labels[20:])) == 1
+        assert labels[0] != labels[-1]
+        assert centers.shape == (2, 2)
+
+    def test_k_equals_n(self):
+        points = np.arange(6, dtype=float).reshape(3, 2)
+        labels, _ = kmeans(points, 3, seed=0)
+        assert sorted(labels.tolist()) == [0, 1, 2]
+
+    def test_determinism(self):
+        rng = np.random.default_rng(1)
+        points = rng.normal(size=(40, 3))
+        a, _ = kmeans(points, 4, seed=7)
+        b, _ = kmeans(points, 4, seed=7)
+        assert (a == b).all()
+
+    def test_invalid_k(self):
+        points = np.zeros((3, 2))
+        with pytest.raises(GraphError):
+            kmeans(points, 0)
+        with pytest.raises(GraphError):
+            kmeans(points, 4)
+
+
+class TestSpectralEmbedding:
+    def test_shape(self):
+        graph, _ = stochastic_block_model([20, 20], 0.5, 0.02, seed=0)
+        emb = spectral_embedding(graph, 3)
+        assert emb.shape == (40, 3)
+
+    def test_invalid_dimensions(self):
+        graph, _ = stochastic_block_model([5, 5], 0.5, 0.1, seed=0)
+        with pytest.raises(GraphError):
+            spectral_embedding(graph, 0)
+        with pytest.raises(GraphError):
+            spectral_embedding(graph, 100)
+
+
+class TestSpectralGroups:
+    def test_recovers_planted_partition(self):
+        graph, planted = stochastic_block_model(
+            [25, 25], 0.6, 0.01, seed=3
+        )
+        found = spectral_groups(graph, 2, seed=0)
+        # Clusters must align with the planted blocks (up to renaming):
+        # check that most pairs agree on same-cluster relations.
+        nodes = graph.nodes()
+        agree = 0
+        total = 0
+        for i in range(0, len(nodes), 3):
+            for j in range(i + 1, len(nodes), 3):
+                same_planted = planted.group_of(nodes[i]) == planted.group_of(nodes[j])
+                same_found = found.group_of(nodes[i]) == found.group_of(nodes[j])
+                agree += same_planted == same_found
+                total += 1
+        assert agree / total > 0.9
+
+    def test_groups_named_by_size(self):
+        graph, _ = stochastic_block_model([30, 10], 0.6, 0.01, seed=1)
+        found = spectral_groups(graph, 2, seed=0)
+        assert found.size("C1") >= found.size("C2")
+
+    def test_updates_graph_attributes(self):
+        graph, _ = stochastic_block_model([10, 10], 0.6, 0.05, seed=2)
+        found = spectral_groups(graph, 2, seed=0)
+        for node in graph.nodes():
+            assert graph.group_of(node) == found.group_of(node)
+
+    def test_too_many_clusters(self):
+        graph = DiGraph()
+        graph.add_edge(0, 1)
+        with pytest.raises(GraphError):
+            spectral_groups(graph, 5)
+
+    def test_large_graph_sparse_path(self):
+        # n > 200 exercises the eigsh shift-invert branch.
+        graph, _ = stochastic_block_model(
+            [120, 120], 0.15, 0.005, seed=4
+        )
+        found = spectral_groups(graph, 2, seed=0)
+        assert found.k == 2
+        assert found.sizes().sum() == 240

@@ -1,0 +1,115 @@
+"""Unit tests for the concave wrapper family H."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.core.concave import (
+    by_name,
+    identity,
+    log1p,
+    power,
+    scaled_log,
+    sqrt,
+)
+
+
+class TestBasicValues:
+    def test_identity(self):
+        assert identity(3.0) == 3.0
+        assert identity(0.0) == 0.0
+
+    def test_sqrt(self):
+        assert sqrt(4.0) == 2.0
+
+    def test_log1p_at_zero(self):
+        assert log1p(0.0) == 0.0
+
+    def test_power(self):
+        assert power(0.5)(9.0) == pytest.approx(3.0)
+        assert power(1.0)(7.0) == 7.0
+
+    def test_scaled_log_zero(self):
+        assert scaled_log(0.5)(0.0) == pytest.approx(0.0)
+
+    def test_vectorised(self):
+        values = sqrt(np.array([1.0, 4.0, 9.0]))
+        assert values.tolist() == [1.0, 2.0, 3.0]
+
+    def test_scalar_returns_float(self):
+        assert isinstance(log1p(2.0), float)
+
+
+class TestValidation:
+    def test_negative_input_rejected(self):
+        with pytest.raises(ConfigError):
+            log1p(-1.0)
+
+    def test_power_alpha_bounds(self):
+        with pytest.raises(ConfigError):
+            power(0.0)
+        with pytest.raises(ConfigError):
+            power(1.5)
+
+    def test_scaled_log_offset(self):
+        with pytest.raises(ConfigError):
+            scaled_log(0.0)
+
+
+class TestMathematicalProperties:
+    GRID = np.linspace(0.0, 60.0, 121)
+
+    @pytest.mark.parametrize(
+        "wrapper", [identity, sqrt, log1p, power(0.25), scaled_log(0.5)]
+    )
+    def test_monotone_nondecreasing(self, wrapper):
+        values = wrapper(self.GRID)
+        assert (np.diff(values) >= -1e-12).all()
+
+    @pytest.mark.parametrize(
+        "wrapper", [identity, sqrt, log1p, power(0.25), scaled_log(0.5)]
+    )
+    def test_concave_on_grid(self, wrapper):
+        # Midpoint condition: H((x+y)/2) >= (H(x)+H(y))/2.
+        x = self.GRID[:-2]
+        y = self.GRID[2:]
+        mid = wrapper((x + y) / 2.0)
+        avg = (wrapper(x) + wrapper(y)) / 2.0
+        assert (mid >= avg - 1e-10).all()
+
+    @pytest.mark.parametrize(
+        "wrapper", [identity, sqrt, log1p, power(0.25), scaled_log(0.5)]
+    )
+    def test_non_negative(self, wrapper):
+        assert (wrapper(self.GRID) >= -1e-12).all()
+
+    def test_log1p_dominated_by_identity_everywhere(self):
+        for z in self.GRID:
+            assert log1p.dominated_by_identity_at(float(z))
+
+    def test_sqrt_violates_domination_below_one(self):
+        assert not sqrt.dominated_by_identity_at(0.25)
+        assert sqrt.dominated_by_identity_at(4.0)
+
+    def test_curvature_ordering_log_vs_sqrt(self):
+        # In the utility range the experiments operate in (group
+        # utilities of a handful of nodes and up), log1p flattens
+        # faster than sqrt: the growth ratio H(2z)/H(z) is smaller.
+        for z in (5.0, 10.0, 40.0):
+            assert log1p(2 * z) / log1p(z) < sqrt(2 * z) / sqrt(z)
+
+
+class TestByName:
+    def test_known_names(self):
+        assert by_name("identity") is identity
+        assert by_name("sqrt") is sqrt
+        assert by_name("log") is log1p
+        assert by_name("log1p") is log1p
+
+    def test_power_syntax(self):
+        wrapper = by_name("power(0.25)")
+        assert wrapper(16.0) == pytest.approx(2.0)
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError, match="unknown concave"):
+            by_name("cosine")

@@ -1,0 +1,157 @@
+"""Tests for the time-discounted utility extension.
+
+The paper's conclusions name "more complex models of time-criticality
+(such as discounting with time)" as future work; the extension weights
+a node activated at time ``t`` by ``gamma**t`` instead of 1.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.influence.ensemble import WorldEnsemble
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import two_block_sbm
+from repro.graph.groups import GroupAssignment
+from repro.core.budget import solve_fair_tcim_budget, solve_tcim_budget
+from repro.core.greedy import lazy_greedy, plain_greedy
+from repro.core.objectives import TotalInfluenceObjective
+
+
+@pytest.fixture
+def line_ensemble(two_group_line):
+    graph, assignment = two_group_line
+    return WorldEnsemble(graph, assignment, n_worlds=4, seed=0)
+
+
+class TestDiscountedUtilities:
+    def test_gamma_one_recovers_step_utility(self, line_ensemble):
+        state = line_ensemble.state_for(["a"])
+        step = line_ensemble.group_utilities(state, 2)
+        discounted = line_ensemble.group_utilities(state, 2, discount=1.0)
+        np.testing.assert_allclose(step, discounted)
+
+    def test_geometric_weights_on_path(self, line_ensemble):
+        # p=1 path a->b->c->d: times 0,1,2,3; gamma=0.5 within tau=inf
+        # gives per-node weights 1, .5, .25, .125.
+        state = line_ensemble.state_for(["a"])
+        utilities = line_ensemble.group_utilities(state, math.inf, discount=0.5)
+        # left = {a, b} -> 1 + 0.5; right = {c, d} -> 0.25 + 0.125.
+        np.testing.assert_allclose(utilities, [1.5, 0.375])
+
+    def test_deadline_still_truncates(self, line_ensemble):
+        state = line_ensemble.state_for(["a"])
+        utilities = line_ensemble.group_utilities(state, 1, discount=0.5)
+        np.testing.assert_allclose(utilities, [1.5, 0.0])
+
+    def test_gamma_zero_counts_only_seeds(self, line_ensemble):
+        state = line_ensemble.state_for(["a", "c"])
+        utilities = line_ensemble.group_utilities(state, math.inf, discount=0.0)
+        np.testing.assert_allclose(utilities, [1.0, 1.0])
+
+    def test_candidate_query_matches_addition(self, line_ensemble):
+        state = line_ensemble.state_for(["a"])
+        predicted = line_ensemble.candidate_group_utilities(
+            state, line_ensemble.position("c"), math.inf, discount=0.5
+        )
+        line_ensemble.add_seed(state, line_ensemble.position("c"))
+        actual = line_ensemble.group_utilities(state, math.inf, discount=0.5)
+        np.testing.assert_allclose(predicted, actual)
+
+    def test_invalid_gamma(self, line_ensemble):
+        state = line_ensemble.empty_state()
+        with pytest.raises(EstimationError, match="discount"):
+            line_ensemble.group_utilities(state, 2, discount=1.5)
+
+    def test_discounted_below_step(self, line_ensemble):
+        state = line_ensemble.state_for(["a"])
+        step = line_ensemble.group_utilities(state, math.inf)
+        discounted = line_ensemble.group_utilities(state, math.inf, discount=0.8)
+        assert (discounted <= step + 1e-9).all()
+
+
+class TestDiscountedGreedy:
+    def _fast_vs_slow_graph(self):
+        """Hub F reaches 4 nodes in 1 hop; chain S reaches 5 in 5 hops.
+
+        Step utility at tau=inf prefers the chain head (6 total vs 5);
+        discounted utility prefers the fast hub.
+        """
+        graph = DiGraph(default_probability=1.0)
+        for i in range(4):
+            graph.add_node(f"f{i}", group="g")
+            graph.add_edge("F", f"f{i}", 1.0)
+        graph.add_node("S", group="g")
+        previous = "S"
+        for i in range(5):
+            graph.add_node(f"s{i}", group="g")
+            graph.add_edge(previous, f"s{i}", 1.0)
+            previous = f"s{i}"
+        graph.set_group("F", "g")
+        assignment = GroupAssignment.from_graph(graph)
+        return WorldEnsemble(graph, assignment, n_worlds=2, seed=0)
+
+    def test_discount_prefers_fast_spreader(self):
+        ensemble = self._fast_vs_slow_graph()
+        objective = TotalInfluenceObjective()
+        step = lazy_greedy(ensemble, objective, deadline=math.inf, max_seeds=1)
+        fast = lazy_greedy(
+            ensemble, objective, deadline=math.inf, max_seeds=1, discount=0.5
+        )
+        assert step.seeds == ["S"]   # 6 nodes total beats 5
+        assert fast.seeds == ["F"]   # 1 + 4*0.5 = 3 beats 1+.5+...=1.97
+
+    def test_celf_matches_plain_with_discount(self):
+        graph, assignment = two_block_sbm(
+            50, 0.7, 0.2, 0.05, activation_probability=0.3, seed=1
+        )
+        ensemble = WorldEnsemble(graph, assignment, n_worlds=20, seed=2)
+        objective = TotalInfluenceObjective()
+        celf = lazy_greedy(
+            ensemble, objective, deadline=5, max_seeds=5, discount=0.6
+        )
+        plain = plain_greedy(
+            ensemble, objective, deadline=5, max_seeds=5, discount=0.6
+        )
+        assert celf.seeds == plain.seeds
+
+
+class TestDiscountedSolvers:
+    @pytest.fixture(scope="class")
+    def ensemble(self):
+        graph, assignment = two_block_sbm(
+            80, 0.7, 0.15, 0.01, activation_probability=0.2, seed=3
+        )
+        return WorldEnsemble(graph, assignment, n_worlds=40, seed=4)
+
+    def test_report_uses_step_utility(self, ensemble):
+        plain = solve_tcim_budget(ensemble, budget=5, deadline=5)
+        discounted = solve_tcim_budget(
+            ensemble, budget=5, deadline=5, discount=0.7
+        )
+        # Reports are step-utility: totals must be directly comparable
+        # and the discounted report must equal re-scoring its seeds.
+        rescored = ensemble.group_utilities(
+            ensemble.state_for(discounted.seeds), 5
+        )
+        np.testing.assert_allclose(
+            discounted.report.utilities, rescored
+        )
+        assert discounted.report.total_utility <= plain.report.total_utility + 1e-9
+
+    def test_problem_label_mentions_gamma(self, ensemble):
+        solution = solve_tcim_budget(ensemble, budget=3, deadline=5, discount=0.5)
+        assert "gamma=0.5" in solution.problem
+        fair = solve_fair_tcim_budget(
+            ensemble, budget=3, deadline=5, discount=0.5
+        )
+        assert "gamma=0.5" in fair.problem
+
+    def test_fair_discounted_runs(self, ensemble):
+        solution = solve_fair_tcim_budget(
+            ensemble, budget=5, deadline=5, discount=0.7
+        )
+        assert len(solution.seeds) == 5
+        assert solution.report.total_utility > 0

@@ -1,0 +1,85 @@
+"""Unit tests for the exact (enumeration) estimator."""
+
+import math
+
+import pytest
+
+from repro.errors import EstimationError
+from repro.influence.exact import exact_group_utilities, exact_utility
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import path_graph, star_graph
+from repro.graph.groups import GroupAssignment
+
+
+class TestExactUtility:
+    def test_deterministic_path(self):
+        graph = path_graph(4, activation_probability=1.0)
+        assert exact_utility(graph, [0], math.inf) == pytest.approx(4.0)
+        assert exact_utility(graph, [0], 1) == pytest.approx(2.0)
+
+    def test_single_edge_probability(self):
+        graph = DiGraph()
+        graph.add_edge("u", "v", 0.3)
+        # E[count] = 1 (seed) + 0.3.
+        assert exact_utility(graph, ["u"], math.inf) == pytest.approx(1.3)
+
+    def test_two_hop_chain(self):
+        graph = path_graph(3, activation_probability=0.5)
+        # 1 + 0.5 + 0.25.
+        assert exact_utility(graph, [0], math.inf) == pytest.approx(1.75)
+        # Deadline 1 cuts the second hop.
+        assert exact_utility(graph, [0], 1) == pytest.approx(1.5)
+
+    def test_two_parallel_paths(self):
+        # u -> v directly (p=.4) and via w (p=.5 each): P(v) = 1-(1-.4)(1-.25).
+        graph = DiGraph()
+        graph.add_edge("u", "v", 0.4)
+        graph.add_edge("u", "w", 0.5)
+        graph.add_edge("w", "v", 0.5)
+        expected_v = 1 - (1 - 0.4) * (1 - 0.25)
+        assert exact_utility(graph, ["u"], math.inf) == pytest.approx(
+            1 + 0.5 + expected_v
+        )
+
+    def test_targets_restriction(self):
+        graph = path_graph(4, activation_probability=1.0)
+        assert exact_utility(graph, [0], math.inf, targets=[2, 3]) == pytest.approx(2.0)
+
+    def test_empty_seed_set(self):
+        graph = path_graph(3)
+        assert exact_utility(graph, [], math.inf) == 0.0
+
+    def test_edge_limit_enforced(self):
+        graph = star_graph(25, activation_probability=0.5)
+        with pytest.raises(EstimationError, match="exceeds the limit"):
+            exact_utility(graph, [0], math.inf)
+
+    def test_custom_edge_limit(self):
+        graph = star_graph(5, activation_probability=0.5)
+        with pytest.raises(EstimationError):
+            exact_utility(graph, [0], math.inf, max_edges=3)
+
+
+class TestExactGroupUtilities:
+    def test_groups_sum_to_total(self, small_two_group):
+        graph, assignment = small_two_group
+        per_group = exact_group_utilities(graph, assignment, ["h"], 3)
+        total = exact_utility(graph, ["h"], 3)
+        assert sum(per_group.values()) == pytest.approx(total)
+
+    def test_deadline_zero_counts_only_seeds(self, small_two_group):
+        graph, assignment = small_two_group
+        per_group = exact_group_utilities(graph, assignment, ["h", "m1"], 0)
+        assert per_group == {"big": 1.0, "small": 1.0}
+
+    def test_empty_seeds(self, small_two_group):
+        graph, assignment = small_two_group
+        per_group = exact_group_utilities(graph, assignment, [], 2)
+        assert per_group == {"big": 0.0, "small": 0.0}
+
+    def test_monotone_in_seeds(self, small_two_group):
+        graph, assignment = small_two_group
+        small_set = exact_group_utilities(graph, assignment, ["h"], 2)
+        larger = exact_group_utilities(graph, assignment, ["h", "m1"], 2)
+        for group in assignment.groups:
+            assert larger[group] >= small_set[group] - 1e-12

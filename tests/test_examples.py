@@ -1,0 +1,56 @@
+"""Smoke tests: the example scripts must run and tell their story.
+
+Each example is executed in-process (imported as a module and its
+``main()`` called) with stdout captured, then checked for the key
+claims it prints.  Examples are deterministic, so these are stable.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(name, None)
+    return capsys.readouterr().out
+
+
+@pytest.mark.slow
+def test_quickstart(capsys):
+    out = run_example("quickstart", capsys)
+    assert "P1 (greedy)" in out
+    assert "P4 (fair)" in out
+    assert "disparity reduction" in out
+
+
+@pytest.mark.slow
+def test_job_campaign_cover(capsys):
+    out = run_example("job_campaign_cover", capsys)
+    assert "classic (P2)" in out
+    assert "fair (P6)" in out
+    assert "Theorem 2" in out
+
+
+@pytest.mark.slow
+def test_flash_sale_deadlines(capsys):
+    out = run_example("flash_sale_deadlines", capsys)
+    assert "P1 disp" in out
+    assert "inf" in out
+
+
+@pytest.mark.slow
+def test_audit_campaign_fairness(capsys):
+    out = run_example("audit_campaign_fairness", capsys)
+    assert "monte carlo" in out
+    assert "FAIRTCIM-BUDGET" in out

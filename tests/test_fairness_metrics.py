@@ -1,0 +1,72 @@
+"""Unit tests for the fairness comparison records (core.metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import FairnessComparison, compare_solutions
+from repro.influence.utility import utility_report
+
+
+def make_report(utilities, sizes=(100, 50), deadline=5, seeds=10):
+    return utility_report(
+        groups=["g1", "g2"],
+        utilities=list(utilities),
+        group_sizes=list(sizes),
+        deadline=deadline,
+        seed_count=seeds,
+    )
+
+
+class TestFairnessComparison:
+    def test_disparity_reduction(self):
+        unfair = make_report([40.0, 2.0])   # fractions .4 / .04
+        fair = make_report([30.0, 12.0])    # fractions .3 / .24
+        comparison = compare_solutions(unfair, fair)
+        assert comparison.disparity_reduction == pytest.approx(0.36 - 0.06)
+        assert comparison.disparity_ratio == pytest.approx(0.06 / 0.36)
+
+    def test_influence_cost(self):
+        unfair = make_report([40.0, 2.0])
+        fair = make_report([30.0, 12.0])
+        comparison = compare_solutions(unfair, fair)
+        assert comparison.influence_cost == pytest.approx(0.0)  # same total
+        cheaper = make_report([20.0, 12.0])
+        comparison = compare_solutions(unfair, cheaper)
+        assert comparison.influence_cost > 0
+        assert comparison.influence_cost_relative > 0
+
+    def test_negative_cost_allowed(self):
+        # The paper observes fair solutions can influence MORE
+        # (Instagram-Activities); the record must represent that.
+        unfair = make_report([30.0, 2.0])
+        fair = make_report([35.0, 12.0])
+        assert compare_solutions(unfair, fair).influence_cost < 0
+
+    def test_seed_overhead(self):
+        unfair = make_report([40.0, 2.0], seeds=10)
+        fair = make_report([40.0, 12.0], seeds=13)
+        assert compare_solutions(unfair, fair).seed_overhead == 3
+
+    def test_minimum_group_gain(self):
+        unfair = make_report([40.0, 2.0])
+        fair = make_report([30.0, 12.0])
+        comparison = compare_solutions(unfair, fair)
+        assert comparison.minimum_group_gain == pytest.approx(0.24 - 0.04)
+
+    def test_deadline_mismatch_rejected(self):
+        unfair = make_report([1.0, 1.0], deadline=5)
+        fair = make_report([1.0, 1.0], deadline=10)
+        with pytest.raises(ValueError, match="different deadlines"):
+            compare_solutions(unfair, fair)
+
+    def test_zero_disparity_ratio_convention(self):
+        unfair = make_report([10.0, 5.0])  # fractions .1/.1: no disparity
+        fair = make_report([10.0, 5.0])
+        assert compare_solutions(unfair, fair).disparity_ratio == 1.0
+
+    def test_as_text(self):
+        unfair = make_report([40.0, 2.0], seeds=10)
+        fair = make_report([30.0, 12.0], seeds=12)
+        text = compare_solutions(unfair, fair, "P2", "P6").as_text()
+        assert "P2:" in text and "P6:" in text
+        assert "seed overhead: +2" in text

@@ -1,0 +1,150 @@
+"""Unit tests for the greedy engines (CELF and plain)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import InfeasibleError, OptimizationError
+from repro.influence.ensemble import WorldEnsemble
+from repro.graph.digraph import DiGraph
+from repro.graph.groups import GroupAssignment
+from repro.core.concave import log1p
+from repro.core.greedy import lazy_greedy, plain_greedy
+from repro.core.objectives import ConcaveSumObjective, TotalInfluenceObjective
+
+
+def two_star_graph():
+    """Two disjoint directed stars: hub sizes 5 and 3, p = 1.
+
+    Greedy must pick the larger hub first, the smaller second.
+    """
+    graph = DiGraph(default_probability=1.0)
+    graph.add_node("H5", group="g")
+    for i in range(5):
+        graph.add_node(f"h5_{i}", group="g")
+        graph.add_edge("H5", f"h5_{i}")
+    graph.add_node("H3", group="g")
+    for i in range(3):
+        graph.add_node(f"h3_{i}", group="g")
+        graph.add_edge("H3", f"h3_{i}")
+    return graph, GroupAssignment.from_graph(graph)
+
+
+@pytest.fixture
+def star_ensemble():
+    graph, assignment = two_star_graph()
+    return WorldEnsemble(graph, assignment, n_worlds=3, seed=0)
+
+
+@pytest.mark.parametrize("engine", [lazy_greedy, plain_greedy])
+class TestGreedySelection:
+    def test_picks_largest_hub_first(self, star_ensemble, engine):
+        trace = engine(
+            star_ensemble, TotalInfluenceObjective(), deadline=1, max_seeds=2
+        )
+        assert trace.seeds == ["H5", "H3"]
+        assert trace.final_group_utilities.tolist() == [10.0]
+
+    def test_gains_are_decreasing(self, star_ensemble, engine):
+        trace = engine(
+            star_ensemble, TotalInfluenceObjective(), deadline=1, max_seeds=2
+        )
+        gains = [step.gain for step in trace.steps]
+        assert gains == sorted(gains, reverse=True)
+        assert gains[0] == pytest.approx(6.0)
+        assert gains[1] == pytest.approx(4.0)
+
+    def test_stops_on_no_gain(self, star_ensemble, engine):
+        # After both hubs and all leaves are covered, marginal gain is 0.
+        trace = engine(
+            star_ensemble, TotalInfluenceObjective(), deadline=1, max_seeds=10
+        )
+        assert trace.stopped_reason == "no-gain"
+        assert trace.size == 2
+
+    def test_budget_stop(self, star_ensemble, engine):
+        trace = engine(
+            star_ensemble, TotalInfluenceObjective(), deadline=1, max_seeds=1
+        )
+        assert trace.stopped_reason == "budget"
+        assert trace.size == 1
+
+    def test_stop_condition(self, star_ensemble, engine):
+        trace = engine(
+            star_ensemble,
+            TotalInfluenceObjective(),
+            deadline=1,
+            max_seeds=5,
+            stop=lambda utilities: utilities.sum() >= 6.0,
+        )
+        assert trace.stopped_reason == "stop-condition"
+        assert trace.size == 1
+
+    def test_require_stop_raises_when_unreachable(self, star_ensemble, engine):
+        with pytest.raises(InfeasibleError):
+            engine(
+                star_ensemble,
+                TotalInfluenceObjective(),
+                deadline=1,
+                max_seeds=10,
+                stop=lambda utilities: utilities.sum() >= 1000.0,
+                require_stop=True,
+            )
+
+    def test_invalid_max_seeds(self, star_ensemble, engine):
+        with pytest.raises(OptimizationError):
+            engine(star_ensemble, TotalInfluenceObjective(), deadline=1, max_seeds=0)
+
+    def test_trace_audit_fields(self, star_ensemble, engine):
+        trace = engine(
+            star_ensemble, TotalInfluenceObjective(), deadline=1, max_seeds=2
+        )
+        for step in trace.steps:
+            assert step.evaluations > 0
+            assert step.objective_value > 0
+        assert trace.total_evaluations >= trace.size
+
+    def test_empty_trace_accessors_raise(self, star_ensemble, engine):
+        trace = engine(
+            star_ensemble,
+            TotalInfluenceObjective(),
+            deadline=1,
+            max_seeds=3,
+            stop=lambda utilities: True,  # satisfied immediately
+        )
+        assert trace.size == 0
+        with pytest.raises(OptimizationError):
+            _ = trace.final_objective
+
+
+class TestCelfMatchesPlain:
+    @pytest.mark.parametrize("concave", [None, log1p])
+    def test_identical_output_on_random_graph(self, concave):
+        from repro.graph.generators import two_block_sbm
+
+        graph, assignment = two_block_sbm(
+            60, 0.7, 0.2, 0.05, activation_probability=0.3, seed=5
+        )
+        ensemble = WorldEnsemble(graph, assignment, n_worlds=30, seed=6)
+        objective = (
+            TotalInfluenceObjective()
+            if concave is None
+            else ConcaveSumObjective(concave=concave)
+        )
+        celf = lazy_greedy(ensemble, objective, deadline=3, max_seeds=6)
+        plain = plain_greedy(ensemble, objective, deadline=3, max_seeds=6)
+        assert celf.seeds == plain.seeds
+        assert celf.final_objective == pytest.approx(plain.final_objective)
+
+    def test_celf_saves_evaluations(self):
+        from repro.graph.generators import two_block_sbm
+
+        graph, assignment = two_block_sbm(
+            80, 0.6, 0.2, 0.05, activation_probability=0.2, seed=7
+        )
+        ensemble = WorldEnsemble(graph, assignment, n_worlds=20, seed=8)
+        objective = TotalInfluenceObjective()
+        celf = lazy_greedy(ensemble, objective, deadline=2, max_seeds=8)
+        plain = plain_greedy(ensemble, objective, deadline=2, max_seeds=8)
+        assert celf.total_evaluations < plain.total_evaluations

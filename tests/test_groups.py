@@ -1,0 +1,132 @@
+"""Unit tests for GroupAssignment."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GroupError
+from repro.graph.digraph import DiGraph
+from repro.graph.groups import GroupAssignment
+
+
+def make_graph():
+    graph = DiGraph()
+    graph.add_node("a", group="g1")
+    graph.add_node("b", group="g1")
+    graph.add_node("c", group="g2")
+    return graph
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(GroupError):
+            GroupAssignment({})
+
+    def test_from_graph(self):
+        assignment = GroupAssignment.from_graph(make_graph())
+        assert assignment.groups == ["g1", "g2"]
+        assert assignment.size("g1") == 2
+        assert assignment.size("g2") == 1
+
+    def test_from_graph_unlabeled_node(self):
+        graph = make_graph()
+        graph.add_node("d")
+        with pytest.raises(GroupError, match="no group label"):
+            GroupAssignment.from_graph(graph)
+
+    def test_from_labels(self):
+        assignment = GroupAssignment.from_labels(["x", "y"], ["g", "g"])
+        assert assignment.k == 1
+        assert len(assignment) == 2
+
+    def test_from_labels_length_mismatch(self):
+        with pytest.raises(GroupError, match="differ in length"):
+            GroupAssignment.from_labels(["x"], ["g", "g"])
+
+    def test_deterministic_group_order(self):
+        a = GroupAssignment({"n1": "z", "n2": "a", "n3": "m"})
+        assert a.groups == sorted(a.groups, key=repr)
+
+
+class TestQueries:
+    def test_group_of(self):
+        assignment = GroupAssignment.from_graph(make_graph())
+        assert assignment.group_of("a") == "g1"
+        with pytest.raises(GroupError):
+            assignment.group_of("zzz")
+
+    def test_members(self):
+        assignment = GroupAssignment.from_graph(make_graph())
+        assert sorted(assignment.members("g1")) == ["a", "b"]
+        with pytest.raises(GroupError):
+            assignment.members("nope")
+
+    def test_sizes_aligned_with_groups(self):
+        assignment = GroupAssignment.from_graph(make_graph())
+        assert assignment.sizes().tolist() == [2, 1]
+
+    def test_contains(self):
+        assignment = GroupAssignment.from_graph(make_graph())
+        assert "a" in assignment
+        assert "zzz" not in assignment
+
+    def test_size_unknown_group(self):
+        assignment = GroupAssignment.from_graph(make_graph())
+        with pytest.raises(GroupError, match="unknown group"):
+            assignment.size("nope")
+
+
+class TestValidation:
+    def test_validate_ok(self):
+        graph = make_graph()
+        GroupAssignment.from_graph(graph).validate_for(graph)
+
+    def test_missing_node(self):
+        graph = make_graph()
+        assignment = GroupAssignment({"a": "g1", "b": "g1"})
+        with pytest.raises(GroupError, match="missing"):
+            assignment.validate_for(graph)
+
+    def test_extra_node(self):
+        graph = make_graph()
+        assignment = GroupAssignment(
+            {"a": "g1", "b": "g1", "c": "g2", "ghost": "g2"}
+        )
+        with pytest.raises(GroupError, match="not in graph"):
+            assignment.validate_for(graph)
+
+
+class TestMasks:
+    def test_masks_partition(self):
+        graph = make_graph()
+        assignment = GroupAssignment.from_graph(graph)
+        masks = assignment.masks(graph)
+        assert masks.shape == (2, 3)
+        # Every node in exactly one group.
+        assert (masks.sum(axis=0) == 1).all()
+        assert masks.sum() == 3
+
+    def test_masks_align_with_indices(self):
+        graph = make_graph()
+        assignment = GroupAssignment.from_graph(graph)
+        masks = assignment.masks(graph)
+        g2_row = assignment.groups.index("g2")
+        assert masks[g2_row, graph.index_of("c")]
+
+
+class TestRestriction:
+    def test_restricted_to(self):
+        assignment = GroupAssignment.from_graph(make_graph())
+        sub = assignment.restricted_to(["a", "c"])
+        assert len(sub) == 2
+        assert sub.size("g1") == 1
+
+    def test_restricted_to_empty(self):
+        assignment = GroupAssignment.from_graph(make_graph())
+        with pytest.raises(GroupError, match="empty"):
+            assignment.restricted_to(["nope"])
+
+    def test_as_dict_copy(self):
+        assignment = GroupAssignment.from_graph(make_graph())
+        d = assignment.as_dict()
+        d["a"] = "mutated"
+        assert assignment.group_of("a") == "g1"

@@ -1,0 +1,85 @@
+"""Unit tests for graph persistence."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+from repro.graph.groups import GroupAssignment
+from repro.graph.io import read_edge_list, read_json, write_edge_list, write_json
+
+
+def labelled_graph() -> DiGraph:
+    graph = DiGraph(default_probability=0.3)
+    graph.add_node("a", group="g1")
+    graph.add_node("b", group="g1")
+    graph.add_node(7, group="g2")
+    graph.add_edge("a", "b", 0.5)
+    graph.add_edge("b", 7, 0.25)
+    graph.add_edge(7, "a")
+    return graph
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path):
+        graph = labelled_graph()
+        path = tmp_path / "graph.tsv"
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path)
+        assert sorted(map(repr, loaded.nodes())) == sorted(map(repr, graph.nodes()))
+        assert sorted(map(repr, loaded.edges())) == sorted(map(repr, graph.edges()))
+        assert loaded.group_of(7) == "g2"
+        assert loaded.default_probability == 0.3
+
+    def test_mixed_label_types_roundtrip(self, tmp_path):
+        graph = labelled_graph()
+        path = tmp_path / "graph.tsv"
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path)
+        assert 7 in loaded          # int label stays int
+        assert "a" in loaded        # str label stays str
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("'a'\t'b'\n")  # missing probability column
+        with pytest.raises(GraphError, match="expected"):
+            read_edge_list(path)
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "ok.tsv"
+        path.write_text("# comment\n\n'a'\t'b'\t0.5\n")
+        loaded = read_edge_list(path)
+        assert loaded.has_edge("a", "b")
+
+
+class TestJson:
+    def test_roundtrip_with_groups(self, tmp_path):
+        graph = labelled_graph()
+        path = tmp_path / "graph.json"
+        write_json(graph, path)
+        loaded, assignment = read_json(path)
+        assert assignment is not None
+        assert assignment.size("g1") == 2
+        assert loaded.edge_probability("b", 7) == 0.25
+
+    def test_roundtrip_without_groups(self, tmp_path):
+        graph = DiGraph()
+        graph.add_edge(0, 1, 0.5)
+        path = tmp_path / "graph.json"
+        write_json(graph, path)
+        loaded, assignment = read_json(path)
+        assert assignment is None
+        assert loaded.has_edge(0, 1)
+
+    def test_assignment_override(self, tmp_path):
+        graph = labelled_graph()
+        override = GroupAssignment({"a": "x", "b": "x", 7: "y"})
+        path = tmp_path / "graph.json"
+        write_json(graph, path, assignment=override)
+        _, assignment = read_json(path)
+        assert assignment.size("x") == 2
+
+    def test_unknown_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "other", "nodes": [], "edges": []}')
+        with pytest.raises(GraphError, match="unknown format"):
+            read_json(path)

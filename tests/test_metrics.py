@@ -1,0 +1,123 @@
+"""Unit tests for graph metrics."""
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import complete_graph, path_graph, star_graph
+from repro.graph.groups import GroupAssignment
+from repro.graph.metrics import (
+    average_degree,
+    bfs_distances,
+    degree_array,
+    density,
+    mixing_summary,
+    summarize,
+    weakly_connected_components,
+)
+
+
+class TestDegrees:
+    def test_degree_array_directions(self, tiny_path):
+        assert degree_array(tiny_path, "out").tolist() == [1, 1, 1, 0]
+        assert degree_array(tiny_path, "in").tolist() == [0, 1, 1, 1]
+        assert degree_array(tiny_path, "total").tolist() == [1, 2, 2, 1]
+
+    def test_bad_direction(self, tiny_path):
+        with pytest.raises(ValueError):
+            degree_array(tiny_path, "sideways")
+
+    def test_density(self):
+        assert density(complete_graph(4)) == 1.0
+        assert density(DiGraph()) == 0.0
+        single = DiGraph()
+        single.add_node(0)
+        assert density(single) == 0.0
+
+    def test_average_degree(self, tiny_path):
+        assert average_degree(tiny_path) == 3 / 4
+        assert average_degree(DiGraph()) == 0.0
+
+
+class TestComponents:
+    def test_single_component(self, tiny_path):
+        comps = weakly_connected_components(tiny_path)
+        assert len(comps) == 1
+        assert sorted(comps[0]) == [0, 1, 2, 3]
+
+    def test_direction_ignored(self):
+        graph = DiGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("c", "b")  # b has two in-edges; weakly connected
+        comps = weakly_connected_components(graph)
+        assert len(comps) == 1
+
+    def test_multiple_components_sorted_by_size(self):
+        graph = DiGraph()
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        graph.add_edge(10, 11)
+        graph.add_node(99)
+        comps = weakly_connected_components(graph)
+        assert [len(c) for c in comps] == [3, 2, 1]
+
+
+class TestBfs:
+    def test_distances_on_path(self, tiny_path):
+        dist = bfs_distances(tiny_path, 0)
+        assert dist == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_unreachable_excluded(self, tiny_path):
+        dist = bfs_distances(tiny_path, 2)
+        assert 0 not in dist and 1 not in dist
+        assert dist[3] == 1
+
+    def test_star_distances(self):
+        graph = star_graph(3)
+        dist = bfs_distances(graph, 0)
+        assert all(dist[leaf] == 1 for leaf in (1, 2, 3))
+
+
+class TestMixing:
+    def test_summary_counts(self, two_group_line):
+        graph, assignment = two_group_line
+        summary = mixing_summary(graph, assignment)
+        # a->b within left; c->d within right; b->c across.
+        assert summary.within_edges("left") == 1
+        assert summary.within_edges("right") == 1
+        assert summary.across_edges("left", "right") == 1
+        assert summary.homophily_index == pytest.approx(2 / 3)
+
+    def test_mean_degree_by_group(self, two_group_line):
+        graph, assignment = two_group_line
+        summary = mixing_summary(graph, assignment)
+        left = summary.groups.index("left")
+        # Out-edges from left nodes: a->b, b->c = 2 over 2 nodes.
+        assert summary.mean_degree_by_group[left] == pytest.approx(1.0)
+
+    def test_empty_graph_homophily(self):
+        graph = DiGraph()
+        graph.add_node("x", group="g")
+        summary = mixing_summary(graph, GroupAssignment({"x": "g"}))
+        assert summary.homophily_index == 0.0
+
+
+class TestSummarize:
+    def test_basic_fields(self, two_group_line):
+        graph, assignment = two_group_line
+        summary = summarize(graph, assignment)
+        assert summary.nodes == 4
+        assert summary.directed_edges == 3
+        assert summary.components == 1
+        assert summary.largest_component == 4
+        assert ("left", 2) in summary.groups
+
+    def test_as_text(self, two_group_line):
+        graph, assignment = two_group_line
+        text = summarize(graph, assignment).as_text()
+        assert "nodes=4" in text
+        assert "groups:" in text
+
+    def test_without_assignment(self, tiny_path):
+        summary = summarize(tiny_path)
+        assert summary.groups is None

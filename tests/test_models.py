@@ -1,0 +1,109 @@
+"""Unit tests for the IC and LT cascade simulators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.diffusion.models import simulate_ic, simulate_lt
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import path_graph, star_graph
+
+
+class TestSimulateIcDeterministic:
+    def test_certain_path_timestamps(self, tiny_path):
+        outcome = simulate_ic(tiny_path, [0], seed=0)
+        assert [outcome.activation_time(v) for v in range(4)] == [0, 1, 2, 3]
+
+    def test_zero_probability_no_spread(self):
+        graph = path_graph(4, activation_probability=0.0)
+        outcome = simulate_ic(graph, [0], seed=0)
+        assert outcome.count() == 1
+
+    def test_max_steps_truncates(self, tiny_path):
+        outcome = simulate_ic(tiny_path, [0], seed=0, max_steps=1)
+        assert outcome.count() == 2
+        assert outcome.activation_time(2) == -1
+
+    def test_multiple_seeds(self, tiny_path):
+        outcome = simulate_ic(tiny_path, [0, 2], seed=0)
+        assert outcome.activation_time(2) == 0
+        assert outcome.activation_time(3) == 1
+
+    def test_seeds_frozen_in_result(self, tiny_path):
+        outcome = simulate_ic(tiny_path, [0], seed=0)
+        assert outcome.seeds == frozenset({0})
+
+
+class TestSimulateIcValidation:
+    def test_empty_seeds(self, tiny_path):
+        with pytest.raises(EstimationError, match="empty"):
+            simulate_ic(tiny_path, [], seed=0)
+
+    def test_duplicate_seeds(self, tiny_path):
+        with pytest.raises(EstimationError, match="duplicate"):
+            simulate_ic(tiny_path, [0, 0], seed=0)
+
+
+class TestSimulateIcStochastic:
+    def test_determinism_under_seed(self):
+        graph = star_graph(20, activation_probability=0.5)
+        a = simulate_ic(graph, [0], seed=42)
+        b = simulate_ic(graph, [0], seed=42)
+        assert (a.activation_times == b.activation_times).all()
+
+    def test_edge_fires_once(self):
+        # Star with p=0.5: expected activated leaves = 10; multiple runs
+        # must stay within plausible binomial range (no re-tries).
+        graph = star_graph(100, activation_probability=0.5)
+        counts = [
+            simulate_ic(graph, [0], seed=s).count() - 1 for s in range(20)
+        ]
+        assert 30 < np.mean(counts) < 70
+
+    def test_activation_probability_respected(self):
+        graph = star_graph(2000, activation_probability=0.2)
+        outcome = simulate_ic(graph, [0], seed=1)
+        fraction = (outcome.count() - 1) / 2000
+        assert 0.15 < fraction < 0.25
+
+
+class TestSimulateLt:
+    def test_deterministic_when_weight_full(self):
+        # Single in-neighbour with weight 1.0: threshold always met.
+        graph = path_graph(4, activation_probability=1.0)
+        outcome = simulate_lt(graph, [0], seed=0)
+        assert outcome.count() == 4
+        assert outcome.activation_time(3) == 3
+
+    def test_weights_normalised(self):
+        # Node with many in-edges of total weight > 1 must not
+        # activate more eagerly than the normalised weights allow.
+        graph = DiGraph(default_probability=0.9)
+        for i in range(10):
+            graph.add_node(f"s{i}")
+            graph.add_edge(f"s{i}", "target")
+        activations = 0
+        for s in range(200):
+            outcome = simulate_lt(graph, [f"s{i}" for i in range(10)], seed=s)
+            activations += outcome.activation_time("target") >= 0
+        # Normalised total weight is exactly 1 => always activates.
+        assert activations == 200
+
+    def test_partial_weight_activation_rate(self):
+        # Single in-edge with weight 0.3: activation iff threshold<=0.3.
+        graph = DiGraph()
+        graph.add_edge("u", "v", 0.3)
+        hits = sum(
+            simulate_lt(graph, ["u"], seed=s).activation_time("v") >= 0
+            for s in range(400)
+        )
+        assert 0.2 < hits / 400 < 0.4
+
+    def test_max_steps(self):
+        graph = path_graph(5, activation_probability=1.0)
+        outcome = simulate_lt(graph, [0], seed=0, max_steps=2)
+        assert outcome.count() == 3
+
+    def test_empty_seeds_rejected(self, tiny_path):
+        with pytest.raises(EstimationError):
+            simulate_lt(tiny_path, [], seed=0)

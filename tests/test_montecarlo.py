@@ -1,0 +1,66 @@
+"""Cross-validation of the Monte Carlo estimator against exact values."""
+
+import math
+
+import pytest
+
+from repro.errors import EstimationError
+from repro.influence.exact import exact_group_utilities, exact_utility
+from repro.influence.montecarlo import (
+    monte_carlo_group_utilities,
+    monte_carlo_utility,
+)
+from repro.graph.generators import path_graph
+
+
+class TestMonteCarloUtility:
+    def test_matches_exact_on_chain(self):
+        graph = path_graph(4, activation_probability=0.6)
+        exact = exact_utility(graph, [0], 2)
+        estimate = monte_carlo_utility(graph, [0], 2, n_samples=3000, seed=0)
+        assert estimate == pytest.approx(exact, abs=0.08)
+
+    def test_infinite_deadline(self):
+        graph = path_graph(3, activation_probability=1.0)
+        assert monte_carlo_utility(graph, [0], math.inf, n_samples=5, seed=0) == 3.0
+
+    def test_determinism(self, small_two_group):
+        graph, _ = small_two_group
+        a = monte_carlo_utility(graph, ["h"], 2, n_samples=50, seed=9)
+        b = monte_carlo_utility(graph, ["h"], 2, n_samples=50, seed=9)
+        assert a == b
+
+    def test_validation(self, small_two_group):
+        graph, _ = small_two_group
+        with pytest.raises(EstimationError):
+            monte_carlo_utility(graph, ["h"], 2, n_samples=0)
+        with pytest.raises(EstimationError):
+            monte_carlo_utility(graph, ["h"], -1)
+        with pytest.raises(EstimationError):
+            monte_carlo_utility(graph, ["h"], 2, model="sir")
+
+
+class TestMonteCarloGroupUtilities:
+    def test_matches_exact_per_group(self, small_two_group):
+        graph, assignment = small_two_group
+        exact = exact_group_utilities(graph, assignment, ["h"], 2)
+        estimate = monte_carlo_group_utilities(
+            graph, assignment, ["h"], 2, n_samples=4000, seed=1
+        )
+        for group in assignment.groups:
+            assert estimate[group] == pytest.approx(exact[group], abs=0.12)
+
+    def test_groups_sum_to_total_estimator(self, small_two_group):
+        graph, assignment = small_two_group
+        groups = monte_carlo_group_utilities(
+            graph, assignment, ["h"], 3, n_samples=500, seed=2
+        )
+        total = monte_carlo_utility(graph, ["h"], 3, n_samples=500, seed=2)
+        assert sum(groups.values()) == pytest.approx(total, abs=1e-9)
+
+    def test_lt_model_runs(self, small_two_group):
+        graph, assignment = small_two_group
+        estimate = monte_carlo_group_utilities(
+            graph, assignment, ["h"], 2, n_samples=100, model="lt", seed=3
+        )
+        assert estimate["big"] >= 1.0

@@ -1,0 +1,124 @@
+"""Tests for the RIS (reverse-reachable set) estimator."""
+
+import math
+
+import pytest
+
+from repro.errors import EstimationError, OptimizationError
+from repro.influence.exact import exact_utility
+from repro.influence.rrsets import RRCollection, ris_greedy, sample_rr_sets
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import path_graph, star_graph, two_block_sbm
+
+
+class TestSampling:
+    def test_set_always_contains_target(self):
+        graph = path_graph(5, activation_probability=0.5)
+        collection = sample_rr_sets(graph, deadline=2, count=50, seed=0)
+        assert collection.count == 50
+        assert all(len(rr) >= 1 for rr in collection.sets)
+
+    def test_deadline_zero_gives_singletons(self):
+        graph = path_graph(5, activation_probability=1.0)
+        collection = sample_rr_sets(graph, deadline=0, count=30, seed=0)
+        assert all(len(rr) == 1 for rr in collection.sets)
+
+    def test_deterministic_under_seed(self):
+        graph = star_graph(20, activation_probability=0.4)
+        a = sample_rr_sets(graph, deadline=2, count=25, seed=7)
+        b = sample_rr_sets(graph, deadline=2, count=25, seed=7)
+        assert a.sets == b.sets
+
+    def test_deadline_limits_depth(self):
+        # Path 0->1->2->3 with p=1: RR set of target 3 at tau=1 is {2,3}.
+        graph = path_graph(4, activation_probability=1.0)
+        collection = sample_rr_sets(graph, deadline=1, count=200, seed=1)
+        for rr in collection.sets:
+            assert len(rr) <= 2
+
+    def test_validation(self):
+        graph = path_graph(3)
+        with pytest.raises(EstimationError):
+            sample_rr_sets(graph, deadline=2, count=0)
+        with pytest.raises(EstimationError):
+            sample_rr_sets(graph, deadline=-1, count=5)
+        with pytest.raises(EstimationError):
+            sample_rr_sets(DiGraph(), deadline=1, count=5)
+
+
+class TestEstimation:
+    def test_matches_exact_on_chain(self):
+        graph = path_graph(4, activation_probability=0.6)
+        collection = sample_rr_sets(graph, deadline=2, count=20_000, seed=2)
+        estimate = collection.estimate([0])
+        exact = exact_utility(graph, [0], 2)
+        assert estimate == pytest.approx(exact, rel=0.1)
+
+    def test_matches_exact_star(self):
+        graph = star_graph(6, activation_probability=0.5)
+        collection = sample_rr_sets(graph, deadline=1, count=20_000, seed=3)
+        estimate = collection.estimate([0])
+        exact = exact_utility(graph, [0], 1)
+        assert estimate == pytest.approx(exact, rel=0.1)
+
+    def test_empty_seed_set(self):
+        graph = path_graph(3)
+        collection = sample_rr_sets(graph, deadline=1, count=10, seed=0)
+        assert collection.estimate([]) == 0.0
+
+    def test_monotone_in_seeds(self):
+        graph = star_graph(10, activation_probability=0.5)
+        collection = sample_rr_sets(graph, deadline=1, count=500, seed=4)
+        assert collection.estimate([0, 1]) >= collection.estimate([0])
+
+
+class TestRisGreedy:
+    def test_finds_the_hub(self):
+        graph = star_graph(20, activation_probability=0.8)
+        collection = sample_rr_sets(graph, deadline=1, count=2000, seed=5)
+        seeds, estimate = ris_greedy(collection, budget=1)
+        assert seeds == [0]
+        assert estimate > 5
+
+    def test_agrees_with_ensemble_greedy(self):
+        """RIS-greedy and ensemble-greedy should pick similar-quality
+        seed sets for P1 (cross-validation of two estimator stacks)."""
+        from repro.influence.ensemble import WorldEnsemble
+        from repro.core.budget import solve_tcim_budget
+        from repro.graph.groups import GroupAssignment
+
+        graph, assignment = two_block_sbm(
+            80, 0.7, 0.15, 0.02, activation_probability=0.2, seed=6
+        )
+        collection = sample_rr_sets(graph, deadline=3, count=4000, seed=7)
+        ris_seeds, _ = ris_greedy(collection, budget=5)
+
+        ensemble = WorldEnsemble(graph, assignment, n_worlds=150, seed=8)
+        ensemble_solution = solve_tcim_budget(ensemble, budget=5, deadline=3)
+
+        ris_value = ensemble.total_utility(ensemble.state_for(ris_seeds), 3)
+        greedy_value = ensemble_solution.report.total_utility
+        assert ris_value >= 0.85 * greedy_value
+
+    def test_early_stop_when_everything_covered(self):
+        graph = path_graph(3, activation_probability=1.0)
+        collection = sample_rr_sets(graph, deadline=math.inf, count=100, seed=9)
+        seeds, _ = ris_greedy(collection, budget=3)
+        # Node 0 covers every RR set; no second seed adds coverage.
+        assert len(seeds) == 1
+
+    def test_candidate_restriction(self):
+        graph = star_graph(10, activation_probability=0.9)
+        collection = sample_rr_sets(graph, deadline=1, count=500, seed=10)
+        seeds, _ = ris_greedy(collection, budget=1, candidates=[3, 4])
+        assert seeds[0] in {3, 4}
+
+    def test_validation(self):
+        graph = path_graph(3)
+        collection = sample_rr_sets(graph, deadline=1, count=10, seed=0)
+        with pytest.raises(OptimizationError):
+            ris_greedy(collection, budget=0)
+        with pytest.raises(OptimizationError):
+            ris_greedy(collection, budget=10)
+        with pytest.raises(OptimizationError):
+            ris_greedy(collection, budget=1, candidates=[])

@@ -1,0 +1,63 @@
+"""Tests for the Theorem 1 / Theorem 2 checkers.
+
+These are the library's empirical guarantee regression tests: on small,
+exactly solvable instances the measured inequalities must hold.
+"""
+
+import pytest
+
+from repro.core.concave import log1p, sqrt
+from repro.core.theory import TheoremCheck, check_theorem1, check_theorem2
+from repro.experiments.theory_checks import theorem_graph
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return theorem_graph(activation=0.6)
+
+
+class TestTheorem1:
+    @pytest.mark.parametrize("concave", [log1p, sqrt])
+    @pytest.mark.parametrize("deadline", [2, 4])
+    def test_bound_holds(self, instance, concave, deadline):
+        graph, assignment = instance
+        check = check_theorem1(
+            graph,
+            assignment,
+            budget=2,
+            deadline=deadline,
+            concave=concave,
+            n_worlds=400,
+            seed=0,
+        )
+        assert check.holds, check.detail
+        assert check.margin >= 0
+
+    def test_check_record_fields(self, instance):
+        graph, assignment = instance
+        check = check_theorem1(
+            graph, assignment, budget=1, deadline=2, n_worlds=200, seed=1
+        )
+        assert isinstance(check, TheoremCheck)
+        assert "Theorem 1" in check.theorem
+        assert check.lhs > 0 and check.rhs > 0
+        assert "greedy seeds" in check.detail
+
+
+class TestTheorem2:
+    @pytest.mark.parametrize("quota", [0.3, 0.6])
+    def test_bound_holds(self, quota):
+        graph, assignment = theorem_graph(activation=0.9)
+        check = check_theorem2(
+            graph, assignment, quota=quota, deadline=3, n_worlds=300, seed=0
+        )
+        assert check.holds, check.detail
+        assert check.lhs <= check.rhs
+
+    def test_detail_reports_per_group_optima(self):
+        graph, assignment = theorem_graph(activation=0.9)
+        check = check_theorem2(
+            graph, assignment, quota=0.3, deadline=3, n_worlds=200, seed=0
+        )
+        assert "|S*_majority|" in check.detail
+        assert "|S*_minority|" in check.detail

@@ -1,0 +1,86 @@
+"""Unit tests for disparity and utility reports (Eq. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GroupError
+from repro.influence.utility import (
+    disparity,
+    normalized_utilities,
+    utility_report,
+)
+
+
+class TestNormalizedUtilities:
+    def test_basic(self):
+        result = normalized_utilities([10.0, 5.0], [100, 50])
+        assert result.tolist() == [0.1, 0.1]
+
+    def test_mapping_inputs_sorted_consistently(self):
+        result = normalized_utilities({"b": 5.0, "a": 10.0}, {"b": 50, "a": 100})
+        assert result.tolist() == [0.1, 0.1]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(GroupError, match="misaligned"):
+            normalized_utilities([1.0], [1, 2])
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(GroupError, match="positive"):
+            normalized_utilities([1.0], [0])
+
+
+class TestDisparity:
+    def test_max_pairwise_gap(self):
+        assert disparity([0.5, 0.1, 0.3]) == pytest.approx(0.4)
+
+    def test_single_group_zero(self):
+        assert disparity([0.7]) == 0.0
+
+    def test_equal_groups_zero(self):
+        assert disparity([0.2, 0.2, 0.2]) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(GroupError):
+            disparity([])
+
+    def test_mapping_input(self):
+        assert disparity({"x": 0.9, "y": 0.4}) == pytest.approx(0.5)
+
+
+class TestUtilityReport:
+    def make(self):
+        return utility_report(
+            groups=["g1", "g2"],
+            utilities=[30.0, 6.0],
+            group_sizes=[100, 50],
+            deadline=5,
+            seed_count=3,
+        )
+
+    def test_fractions(self):
+        report = self.make()
+        assert report.fraction_influenced.tolist() == [0.3, 0.12]
+        assert report.total_utility == 36.0
+        assert report.population_fraction == pytest.approx(36 / 150)
+
+    def test_disparity(self):
+        assert self.make().disparity == pytest.approx(0.18)
+
+    def test_fraction_of(self):
+        report = self.make()
+        assert report.fraction_of("g2") == pytest.approx(0.12)
+        with pytest.raises(GroupError):
+            report.fraction_of("nope")
+
+    def test_as_dict(self):
+        d = self.make().as_dict()
+        assert d["seed_count"] == 3
+        assert d["groups"]["g1"] == pytest.approx(0.3)
+
+    def test_validation(self):
+        with pytest.raises(GroupError, match="misaligned"):
+            utility_report(["g"], [1.0, 2.0], [10], 1, 1)
+        with pytest.raises(GroupError, match="positive"):
+            utility_report(["g"], [1.0], [0], 1, 1)
+        with pytest.raises(GroupError, match="non-negative"):
+            utility_report(["g"], [-1.0], [10], 1, 1)

@@ -1,0 +1,149 @@
+"""Unit tests for live-edge world sampling.
+
+The critical property is the Kempe-et-al. equivalence: BFS distance in
+a sampled world is distributed like the IC activation time.  The
+equivalence test here compares the two estimators head-on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.diffusion.models import simulate_ic
+from repro.diffusion.worlds import (
+    UNREACHABLE,
+    sample_ic_world,
+    sample_lt_world,
+    sample_worlds,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import path_graph, star_graph
+
+
+class TestSampleIcWorld:
+    def test_all_edges_kept_when_certain(self, tiny_path):
+        world = sample_ic_world(tiny_path, seed=0)
+        assert world.kept_edge_count() == 3
+
+    def test_no_edges_kept_when_zero(self):
+        graph = path_graph(4, activation_probability=0.0)
+        world = sample_ic_world(graph, seed=0)
+        assert world.kept_edge_count() == 0
+
+    def test_keep_rate_matches_probability(self):
+        graph = star_graph(4000, activation_probability=0.3)
+        world = sample_ic_world(graph, seed=1)
+        assert 0.25 < world.kept_edge_count() / 4000 < 0.35
+
+    def test_determinism(self):
+        graph = star_graph(50, activation_probability=0.5)
+        a = sample_ic_world(graph, seed=3)
+        b = sample_ic_world(graph, seed=3)
+        assert (a.adjacency != b.adjacency).nnz == 0
+
+
+class TestDistances:
+    def test_path_distances(self, tiny_path):
+        world = sample_ic_world(tiny_path, seed=0)
+        distances = world.distances_from([0])
+        assert distances.tolist() == [[0, 1, 2, 3]]
+
+    def test_unreachable_marker(self, tiny_path):
+        world = sample_ic_world(tiny_path, seed=0)
+        distances = world.distances_from([2])
+        assert distances[0, 0] == UNREACHABLE
+        assert distances[0, 3] == 1
+
+    def test_multi_source(self, tiny_path):
+        world = sample_ic_world(tiny_path, seed=0)
+        distances = world.distances_from([0, 3])
+        assert distances.shape == (2, 4)
+
+    def test_empty_sources(self, tiny_path):
+        world = sample_ic_world(tiny_path, seed=0)
+        assert world.distances_from([]).shape == (0, 4)
+
+    def test_out_of_range_source(self, tiny_path):
+        world = sample_ic_world(tiny_path, seed=0)
+        with pytest.raises(EstimationError):
+            world.distances_from([99])
+
+    def test_reachable_within(self, tiny_path):
+        world = sample_ic_world(tiny_path, seed=0)
+        mask = world.reachable_within([0], deadline=2)
+        assert mask.tolist() == [True, True, True, False]
+
+
+class TestSampleWorlds:
+    def test_count_and_determinism(self, tiny_path):
+        worlds_a = sample_worlds(tiny_path, 5, seed=1)
+        worlds_b = sample_worlds(tiny_path, 5, seed=1)
+        assert len(worlds_a) == 5
+        for wa, wb in zip(worlds_a, worlds_b):
+            assert (wa.adjacency != wb.adjacency).nnz == 0
+
+    def test_invalid_count(self, tiny_path):
+        with pytest.raises(EstimationError):
+            sample_worlds(tiny_path, 0)
+
+    def test_invalid_model(self, tiny_path):
+        with pytest.raises(EstimationError, match="model"):
+            sample_worlds(tiny_path, 2, model="sir")
+
+
+class TestLtWorld:
+    def test_at_most_one_in_edge(self):
+        graph = DiGraph(default_probability=0.4)
+        for i in range(6):
+            graph.add_node(i)
+        for i in range(5):
+            graph.add_edge(i, 5)
+        for s in range(20):
+            world = sample_lt_world(graph, seed=s)
+            in_degree = np.asarray(world.adjacency.sum(axis=0)).ravel()
+            assert in_degree[5] <= 1
+
+    def test_full_weight_always_kept(self, tiny_path):
+        world = sample_lt_world(tiny_path, seed=0)
+        assert world.kept_edge_count() == 3
+
+
+class TestLiveEdgeEquivalence:
+    """f_tau estimated by worlds must match forward simulation."""
+
+    def test_star_graph_activation_probability(self):
+        graph = star_graph(300, activation_probability=0.4)
+        n_samples = 400
+        sim_total = sum(
+            simulate_ic(graph, [0], seed=s).count(deadline=1)
+            for s in range(n_samples)
+        ) / n_samples
+        world_total = sum(
+            world.reachable_within([0], 1).sum()
+            for world in sample_worlds(graph, n_samples, seed=9)
+        ) / n_samples
+        assert sim_total == pytest.approx(world_total, rel=0.1)
+
+    def test_two_hop_compound_probability(self):
+        # P(node 2 active by t=2) = p^2 on a path.
+        graph = path_graph(3, activation_probability=0.5)
+        n_samples = 2000
+        hits = sum(
+            world.reachable_within([0], 2)[2]
+            for world in sample_worlds(graph, n_samples, seed=4)
+        )
+        assert hits / n_samples == pytest.approx(0.25, abs=0.04)
+
+    def test_deadline_truncation_matches_simulation(self):
+        graph = path_graph(6, activation_probability=0.8)
+        n_samples = 1500
+        for deadline in (1, 3):
+            sim = sum(
+                simulate_ic(graph, [0], seed=s).count(deadline=deadline)
+                for s in range(n_samples)
+            ) / n_samples
+            worlds = sum(
+                world.reachable_within([0], deadline).sum()
+                for world in sample_worlds(graph, n_samples, seed=11)
+            ) / n_samples
+            assert sim == pytest.approx(worlds, rel=0.07)
