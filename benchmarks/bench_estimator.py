@@ -3,18 +3,28 @@
 These are the operations the greedy solvers call thousands of times;
 their cost profile is what makes paper-scale sweeps tractable:
 
-- ensemble construction (world sampling + distance tensors, once per
-  experiment);
+- ensemble construction (world sampling + distance store, once per
+  experiment) — for each distance backend;
 - full utility evaluation of a seed set (once per accepted seed);
-- a marginal-gain query (the CELF inner loop).
+- a marginal-gain query (the CELF inner loop) — for each backend.
+
+The memory-footprint test additionally *asserts* the sparse backend's
+core promise (its store must be well under the dense tensor on the
+synthetic benchmark graph) and records the measured footprints in
+``BENCH_estimator.json`` next to this file.
 """
 
+import json
 import math
+from pathlib import Path
 
 import pytest
 
 from repro.datasets.synthetic import default_synthetic
+from repro.influence.backends import BACKEND_NAMES
 from repro.influence.ensemble import WorldEnsemble
+
+RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_estimator.json"
 
 
 @pytest.fixture(scope="module")
@@ -26,6 +36,14 @@ def dataset():
 def ensemble(dataset):
     graph, assignment = dataset
     return WorldEnsemble(graph, assignment, n_worlds=100, seed=1)
+
+
+@pytest.fixture(scope="module", params=BACKEND_NAMES)
+def backend_ensemble(request, dataset):
+    graph, assignment = dataset
+    return WorldEnsemble(
+        graph, assignment, n_worlds=100, seed=1, backend=request.param
+    )
 
 
 def test_ensemble_construction(benchmark, dataset):
@@ -62,6 +80,80 @@ def test_infinite_deadline_evaluation(benchmark, ensemble):
     state = ensemble.state_for(ensemble.candidate_labels[:5])
     total = benchmark(ensemble.total_utility, state, math.inf)
     assert total >= 5
+
+
+def test_backend_construction(benchmark, dataset):
+    """Sparse-store construction cost (batched frontier BFS per world)."""
+    graph, assignment = dataset
+
+    def build():
+        return WorldEnsemble(graph, assignment, n_worlds=50, seed=2, backend="sparse")
+
+    result = benchmark(build)
+    assert result.backend_name == "sparse"
+
+
+def test_backend_marginal_gain_query(benchmark, backend_ensemble):
+    """The CELF inner loop under each backend."""
+    state = backend_ensemble.state_for(backend_ensemble.candidate_labels[:10])
+    utilities = benchmark(
+        backend_ensemble.candidate_group_utilities, state, 450, 20
+    )
+    assert utilities.sum() >= 0
+
+
+def test_backend_full_evaluation(benchmark, backend_ensemble):
+    """Per-accepted-seed utility evaluation under each backend."""
+    state = backend_ensemble.state_for(backend_ensemble.candidate_labels[:30])
+    utilities = benchmark(backend_ensemble.group_utilities, state, 20)
+    assert utilities.sum() > 0
+
+
+def test_backend_memory_footprint(dataset):
+    """The sparse backend's reason to exist, asserted and recorded.
+
+    On the synthetic SBM (p_e = 0.05, reach is tiny relative to n) the
+    CSR store must come in far below the dense tensor.  Footprints for
+    all backends go to ``BENCH_estimator.json`` so regressions are
+    visible in review diffs.
+    """
+    graph, assignment = dataset
+    n_worlds = 100
+    ensembles = {
+        backend: WorldEnsemble(
+            graph, assignment, n_worlds=n_worlds, seed=1, backend=backend
+        )
+        for backend in BACKEND_NAMES
+    }
+    footprints = {b: e.memory_bytes() for b, e in ensembles.items()}
+
+    # Exercise the lazy cache so its steady-state footprint is honest.
+    lazy = ensembles["lazy"]
+    state = lazy.empty_state()
+    for position in range(min(lazy.n_candidates, 64)):
+        lazy.candidate_group_utilities(state, position, 20)
+    footprints["lazy"] = lazy.memory_bytes()
+
+    assert footprints["sparse"] < footprints["dense"] / 4, (
+        f"sparse store {footprints['sparse']}B vs dense "
+        f"{footprints['dense']}B — the O(nnz) promise regressed"
+    )
+    assert footprints["lazy"] < footprints["dense"], (
+        "lazy cache should stay below the full dense tensor"
+    )
+
+    record = {
+        "graph": {
+            "nodes": graph.number_of_nodes(),
+            "directed_edges": graph.number_of_edges(),
+            "dataset": "default_synthetic(seed=0)",
+        },
+        "n_worlds": n_worlds,
+        "memory_bytes": footprints,
+        "sparse_over_dense": footprints["sparse"] / footprints["dense"],
+        "lazy_cache_entries": lazy.backend.cache_entries,
+    }
+    RESULTS_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
 
 
 def test_rr_set_sampling(benchmark, dataset):

@@ -3,7 +3,7 @@
 Usage::
 
     python -m repro.cli list
-    python -m repro.cli run fig4a [--quick] [--seed N]
+    python -m repro.cli run fig4a [--quick] [--seed N] [--backend auto|dense|sparse|lazy]
     python -m repro.cli run all [--quick]
 
 ``run`` prints the experiment's table, notes, and shape checks; the
@@ -19,6 +19,7 @@ import time
 from typing import List, Optional
 
 from repro.experiments.registry import list_experiments, run_experiment
+from repro.influence.backends import BACKEND_CHOICES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -41,6 +42,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="reduced sample counts / sweeps (seconds instead of minutes)",
     )
     run.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    run.add_argument(
+        "--backend",
+        choices=list(BACKEND_CHOICES),
+        default=None,
+        help=(
+            "estimator backend for every ensemble (default: auto — pick "
+            "by estimated memory footprint; results are identical under "
+            "all backends)"
+        ),
+    )
     return parser
 
 
@@ -56,7 +67,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     failures = 0
     for experiment_id in ids:
         started = time.perf_counter()
-        result = run_experiment(experiment_id, quick=args.quick, seed=args.seed)
+        result = run_experiment(
+            experiment_id, quick=args.quick, seed=args.seed, backend=args.backend
+        )
         elapsed = time.perf_counter() - started
         print(result.as_text())
         print(f"({elapsed:.1f}s)")

@@ -19,7 +19,7 @@ from typing import List, Optional, Sequence
 
 from repro.errors import OptimizationError
 from repro.graph.digraph import NodeId
-from repro.influence.ensemble import WorldEnsemble
+from repro.influence.backends import UtilityEstimator
 from repro.influence.utility import UtilityReport, utility_report
 from repro.core.concave import ConcaveFunction, log1p
 from repro.core.greedy import SelectionTrace, lazy_greedy, plain_greedy
@@ -40,7 +40,7 @@ class BudgetSolution:
     seeds: List[NodeId]
     trace: SelectionTrace
     report: UtilityReport
-    ensemble: WorldEnsemble
+    ensemble: UtilityEstimator
 
     @property
     def deadline(self) -> float:
@@ -59,7 +59,7 @@ class BudgetSolution:
 
 
 def _solve(
-    ensemble: WorldEnsemble,
+    ensemble: UtilityEstimator,
     objective,
     budget: int,
     deadline: float,
@@ -114,7 +114,7 @@ def _solve(
 
 
 def solve_tcim_budget(
-    ensemble: WorldEnsemble,
+    ensemble: UtilityEstimator,
     budget: int,
     deadline: float,
     method: str = "celf",
@@ -144,7 +144,7 @@ def solve_tcim_budget(
 
 
 def solve_fair_tcim_budget(
-    ensemble: WorldEnsemble,
+    ensemble: UtilityEstimator,
     budget: int,
     deadline: float,
     concave: ConcaveFunction = log1p,

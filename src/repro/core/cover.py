@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.errors import OptimizationError
 from repro.graph.digraph import NodeId
-from repro.influence.ensemble import WorldEnsemble
+from repro.influence.backends import UtilityEstimator
 from repro.influence.utility import UtilityReport, utility_report
 from repro.core.greedy import SelectionTrace, lazy_greedy, plain_greedy
 from repro.core.objectives import TotalCoverageObjective, TruncatedCoverageObjective
@@ -47,7 +47,7 @@ class CoverSolution:
     seeds: List[NodeId]
     trace: SelectionTrace
     report: UtilityReport
-    ensemble: WorldEnsemble
+    ensemble: UtilityEstimator
     quota: float
 
     @property
@@ -71,7 +71,7 @@ class CoverSolution:
 
 def _finalize(
     problem: str,
-    ensemble: WorldEnsemble,
+    ensemble: UtilityEstimator,
     trace: SelectionTrace,
     deadline: float,
     quota: float,
@@ -99,7 +99,7 @@ def _finalize(
 
 
 def solve_tcim_cover(
-    ensemble: WorldEnsemble,
+    ensemble: UtilityEstimator,
     quota: float,
     deadline: float,
     max_seeds: Optional[int] = None,
@@ -134,7 +134,7 @@ def solve_tcim_cover(
 
 
 def solve_fair_tcim_cover(
-    ensemble: WorldEnsemble,
+    ensemble: UtilityEstimator,
     quota: float,
     deadline: float,
     max_seeds: Optional[int] = None,

@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.errors import InfeasibleError, OptimizationError
 from repro.graph.digraph import NodeId
-from repro.influence.ensemble import WorldEnsemble
+from repro.influence.backends import UtilityEstimator
 from repro.core.objectives import Objective
 
 #: Marginal gains below this are treated as zero (Monte Carlo noise floor).
@@ -85,7 +85,7 @@ class SelectionTrace:
         return sum(step.evaluations for step in self.steps)
 
 
-def _check_arguments(ensemble: WorldEnsemble, max_seeds: int) -> None:
+def _check_arguments(ensemble: UtilityEstimator, max_seeds: int) -> None:
     if max_seeds < 1:
         raise OptimizationError(f"max_seeds must be >= 1, got {max_seeds}")
     if ensemble.n_candidates == 0:
@@ -93,7 +93,7 @@ def _check_arguments(ensemble: WorldEnsemble, max_seeds: int) -> None:
 
 
 def lazy_greedy(
-    ensemble: WorldEnsemble,
+    ensemble: UtilityEstimator,
     objective: Objective,
     deadline: float,
     max_seeds: int,
@@ -106,7 +106,10 @@ def lazy_greedy(
     Parameters
     ----------
     ensemble:
-        Pre-built influence estimator.
+        Pre-built influence estimator — anything satisfying the
+        :class:`~repro.influence.backends.UtilityEstimator` protocol
+        (a :class:`~repro.influence.ensemble.WorldEnsemble` under any
+        distance backend, or a custom estimator).
     objective:
         Monotone scalarisation of group utilities.
     deadline:
@@ -195,7 +198,7 @@ def lazy_greedy(
 
 
 def plain_greedy(
-    ensemble: WorldEnsemble,
+    ensemble: UtilityEstimator,
     objective: Objective,
     deadline: float,
     max_seeds: int,

@@ -55,6 +55,7 @@ def check_theorem1(
     n_worlds: int = 400,
     seed: Optional[int] = 0,
     estimator_tolerance: float = 0.0,
+    backend: str = "dense",
 ) -> TheoremCheck:
     """Measure Theorem 1 on one instance.
 
@@ -65,7 +66,7 @@ def check_theorem1(
     gap between the greedy-on-estimate selection and exact scoring.
     """
     ensemble = WorldEnsemble(
-        graph, assignment, n_worlds=n_worlds, seed=seed
+        graph, assignment, n_worlds=n_worlds, seed=seed, backend=backend
     )
     fair = solve_fair_tcim_budget(ensemble, budget, deadline, concave=concave)
     greedy_total = exact_utility(graph, fair.seeds, deadline)
@@ -92,6 +93,7 @@ def check_theorem2(
     deadline: float,
     n_worlds: int = 400,
     seed: Optional[int] = 0,
+    backend: str = "dense",
 ) -> TheoremCheck:
     """Measure Theorem 2 on one instance.
 
@@ -100,7 +102,7 @@ def check_theorem2(
     statement defines them.
     """
     ensemble = WorldEnsemble(
-        graph, assignment, n_worlds=n_worlds, seed=seed
+        graph, assignment, n_worlds=n_worlds, seed=seed, backend=backend
     )
     fair = solve_fair_tcim_cover(ensemble, quota, deadline)
 

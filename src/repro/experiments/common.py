@@ -4,18 +4,28 @@ Centralises the patterns every figure repeats: building an ensemble,
 solving P1/P4 side by side, reading prefix utilities out of a greedy
 trace (budget sweeps exploit that greedy solutions are nested), and
 evaluating disparity between a chosen pair of groups.
+
+Every ensemble an experiment builds flows through
+:func:`build_ensemble`, which is where the estimator backend is
+selected: per call via ``backend=``, or process-wide via
+:func:`set_default_backend` / :func:`use_backend` (what the CLI's
+``--backend`` flag sets).  The default is ``"auto"`` — dense for the
+paper-scale graphs, sparse/lazy as footprints grow.
 """
 
 from __future__ import annotations
 
 import math
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Hashable, List, Optional, Sequence, Tuple
+from typing import Hashable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.errors import ConfigError, EstimationError
 from repro.graph.digraph import DiGraph, NodeId
 from repro.graph.groups import GroupAssignment
+from repro.influence.backends import UtilityEstimator, check_backend_name
 from repro.influence.ensemble import InfluenceState, WorldEnsemble
 from repro.core.budget import BudgetSolution, solve_fair_tcim_budget, solve_tcim_budget
 from repro.core.concave import ConcaveFunction, log1p, sqrt
@@ -23,6 +33,37 @@ from repro.core.greedy import SelectionTrace
 
 #: Deadline sentinel used in sweep tables.
 INF = math.inf
+
+#: Process-wide backend used when ``build_ensemble`` gets no explicit one.
+_default_backend = "auto"
+
+
+def set_default_backend(backend: str) -> None:
+    """Set the process-wide estimator backend for experiment ensembles."""
+    global _default_backend
+    try:
+        check_backend_name(backend)
+    except EstimationError as exc:
+        # Re-raise as the config-layer type: this is experiment/CLI
+        # configuration, not an estimation failure.
+        raise ConfigError(str(exc)) from None
+    _default_backend = backend
+
+
+def get_default_backend() -> str:
+    """The backend :func:`build_ensemble` uses when none is passed."""
+    return _default_backend
+
+
+@contextmanager
+def use_backend(backend: str) -> Iterator[None]:
+    """Temporarily override the default backend (restores on exit)."""
+    previous = get_default_backend()
+    set_default_backend(backend)
+    try:
+        yield
+    finally:
+        set_default_backend(previous)
 
 
 @dataclass(frozen=True)
@@ -47,8 +88,15 @@ def build_ensemble(
     seed: int,
     candidates: Optional[Sequence[NodeId]] = None,
     model: str = "ic",
+    backend: Optional[str] = None,
 ) -> WorldEnsemble:
-    """Thin wrapper kept for a single point of ensemble construction."""
+    """Single point of ensemble construction for every experiment.
+
+    ``backend=None`` defers to the process default (see
+    :func:`set_default_backend`); any explicit name wins.  Backends
+    change memory/speed only — never the estimates — so figures are
+    identical under all of them.
+    """
     return WorldEnsemble(
         graph,
         assignment,
@@ -56,11 +104,12 @@ def build_ensemble(
         candidates=candidates,
         model=model,
         seed=seed,
+        backend=backend or _default_backend,
     )
 
 
 def solve_p1_p4(
-    ensemble: WorldEnsemble,
+    ensemble: UtilityEstimator,
     budget: int,
     deadline: float,
     concave: ConcaveFunction = log1p,
@@ -73,7 +122,7 @@ def solve_p1_p4(
 
 
 def prefix_fractions(
-    ensemble: WorldEnsemble,
+    ensemble: UtilityEstimator,
     trace: SelectionTrace,
     budgets: Sequence[int],
     deadline: float,
@@ -110,7 +159,7 @@ def prefix_fractions(
 
 
 def max_disparity_pair(
-    ensemble: WorldEnsemble, state_or_solution, deadline: float
+    ensemble: UtilityEstimator, state_or_solution, deadline: float
 ) -> PairDisparity:
     """The pair of groups with the largest normalized-utility gap.
 
@@ -134,7 +183,7 @@ def max_disparity_pair(
 
 
 def pair_disparity(
-    ensemble: WorldEnsemble,
+    ensemble: UtilityEstimator,
     seeds: Sequence[NodeId],
     deadline: float,
     group_a: Hashable,

@@ -7,9 +7,10 @@ experiments through this table.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import ConfigError
+from repro.experiments.common import use_backend
 from repro.experiments.ablations import (
     run_abl_celf,
     run_abl_h,
@@ -79,7 +80,20 @@ def get_experiment(experiment_id: str) -> ExperimentFn:
 
 
 def run_experiment(
-    experiment_id: str, quick: bool = False, seed: int = 0
+    experiment_id: str,
+    quick: bool = False,
+    seed: int = 0,
+    backend: Optional[str] = None,
 ) -> ExperimentResult:
-    """Resolve and run one experiment."""
-    return get_experiment(experiment_id)(quick=quick, seed=seed)
+    """Resolve and run one experiment.
+
+    ``backend`` overrides the estimator backend for every ensemble the
+    experiment builds (``"auto"``, ``"dense"``, ``"sparse"``,
+    ``"lazy"``); ``None`` keeps the process default.  Backends never
+    change the estimates, so the reproduced figures are identical.
+    """
+    fn = get_experiment(experiment_id)
+    if backend is None:
+        return fn(quick=quick, seed=seed)
+    with use_backend(backend):
+        return fn(quick=quick, seed=seed)

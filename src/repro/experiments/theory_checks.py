@@ -14,6 +14,7 @@ from repro.graph.digraph import DiGraph
 from repro.graph.groups import GroupAssignment
 from repro.core.concave import log1p, sqrt
 from repro.core.theory import check_theorem1, check_theorem2
+from repro.experiments.common import get_default_backend
 from repro.experiments.runner import ExperimentResult
 
 
@@ -63,6 +64,7 @@ def run_thm1(quick: bool = False, seed: int = 0) -> ExperimentResult:
                 concave=concave,
                 n_worlds=n_worlds,
                 seed=seed,
+                backend=get_default_backend(),
             )
             result.add_row(concave.name, tau, check.lhs, check.rhs, check.holds)
             all_hold &= check.holds
@@ -89,6 +91,7 @@ def run_thm2(quick: bool = False, seed: int = 0) -> ExperimentResult:
                 deadline=tau,
                 n_worlds=n_worlds,
                 seed=seed,
+                backend=get_default_backend(),
             )
             result.add_row(quota, tau, check.lhs, check.rhs, check.holds)
             all_hold &= check.holds

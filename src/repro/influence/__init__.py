@@ -4,9 +4,12 @@ Three estimators, all agreeing in expectation:
 
 - :class:`~repro.influence.ensemble.WorldEnsemble` — the workhorse:
   common-random-numbers estimation over ``R`` pre-sampled live-edge
-  worlds with pre-computed per-world BFS distance tensors, supporting
-  O(R·n) incremental marginal-gain queries (what the greedy solvers
-  call thousands of times).
+  worlds, supporting O(R·n) incremental marginal-gain queries (what the
+  greedy solvers call thousands of times).  Its per-candidate
+  activation-time store is pluggable
+  (:mod:`~repro.influence.backends`): ``dense`` tensor, ``sparse`` CSR,
+  on-demand ``lazy`` rows, or ``auto`` selection by memory footprint —
+  all bit-identical in output.
 - :func:`~repro.influence.montecarlo.monte_carlo_utility` — naive
   forward-simulation Monte Carlo (the authors' estimator); used for
   cross-validation.
@@ -14,10 +17,29 @@ Three estimators, all agreeing in expectation:
   expectation by enumerating every live-edge world on tiny graphs;
   the ground truth for tests and for the Figure-1 example.
 
+Solvers are typed against the
+:class:`~repro.influence.backends.UtilityEstimator` protocol, so
+future estimators (e.g. RIS sketches, :mod:`~repro.influence.rrsets`)
+can slot in without touching the solver layer.  Deadline rounding is
+defined once in :mod:`~repro.influence.deadlines`.
+
 Plus the fairness measurements of Section 4:
 :func:`~repro.influence.utility.disparity` implements Eq. 2.
 """
 
+from repro.influence.backends import (
+    BACKEND_CHOICES,
+    BACKEND_NAMES,
+    DenseBackend,
+    DistanceBackend,
+    LazyBackend,
+    SparseBackend,
+    UtilityEstimator,
+    check_backend_name,
+    make_backend,
+    select_backend,
+)
+from repro.influence.deadlines import clip_deadline, simulation_horizon
 from repro.influence.ensemble import InfluenceState, WorldEnsemble
 from repro.influence.exact import exact_group_utilities, exact_utility
 from repro.influence.montecarlo import monte_carlo_group_utilities, monte_carlo_utility
@@ -32,6 +54,18 @@ from repro.influence.utility import (
 __all__ = [
     "WorldEnsemble",
     "InfluenceState",
+    "UtilityEstimator",
+    "DistanceBackend",
+    "DenseBackend",
+    "SparseBackend",
+    "LazyBackend",
+    "BACKEND_NAMES",
+    "BACKEND_CHOICES",
+    "check_backend_name",
+    "make_backend",
+    "select_backend",
+    "clip_deadline",
+    "simulation_horizon",
     "exact_utility",
     "exact_group_utilities",
     "monte_carlo_utility",

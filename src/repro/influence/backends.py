@@ -1,0 +1,472 @@
+"""Pluggable estimator backends for the world-ensemble distance store.
+
+The common-random-numbers estimator (:class:`~repro.influence.ensemble.
+WorldEnsemble`) reduces every utility query to two primitive operations
+on per-candidate activation-time rows:
+
+- fold candidate ``c``'s times into a state: ``best = min(best, D[:, c, :])``;
+- the same fold *without mutation*, for marginal-gain queries.
+
+How those rows are stored is what limits scale.  This module isolates
+the storage decision behind :class:`DistanceBackend` with three
+implementations:
+
+``dense``
+    The original ``uint8`` tensor ``D[r, c, v]`` — O(R·C·n) memory,
+    fastest queries.  Right for the paper's graphs (Rice, Instagram,
+    synthetic SBM) where the tensor fits comfortably in RAM.
+``sparse``
+    One ``scipy.sparse`` CSR matrix per world holding only the
+    *finite* activation times (stored as ``distance + 1`` so the
+    implicit zeros mean "unreachable") — O(total reachable pairs)
+    memory.  Rows are built by a batched frontier BFS: one sparse
+    matmul per BFS level advances every candidate's frontier at once.
+    Right when worlds are sparse (low activation probability), which
+    is exactly when the dense tensor wastes most of its bytes on the
+    ``UNREACHABLE`` sentinel.
+``lazy``
+    No precomputation: candidate rows ``D[:, c, :]`` are materialised
+    on demand from the stored worlds and kept in a small LRU cache —
+    O(cache_size·R·n) memory.  Right when even the CSR store is too
+    big; CELF's heavy reuse of a few hot candidates keeps the hit rate
+    high.
+
+:func:`select_backend` implements the ``"auto"`` rule (pick by
+estimated footprint); :class:`UtilityEstimator` is the solver-facing
+protocol every estimator — ensemble-backed or otherwise — satisfies,
+which is what the greedy/budget/cover layers are typed against.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import (
+    Any,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import EstimationError
+from repro.diffusion.worlds import UNREACHABLE, LiveEdgeWorld
+from repro.graph.digraph import NodeId
+
+#: Recognised backend names (plus the ``"auto"`` selector).
+BACKEND_NAMES = ("dense", "sparse", "lazy")
+
+#: Every name accepted wherever a backend is chosen (CLI, experiments,
+#: ``WorldEnsemble``) — the single source of truth.
+BACKEND_CHOICES = ("auto",) + BACKEND_NAMES
+
+#: ``"auto"`` keeps the dense tensor while it stays under this many bytes.
+DEFAULT_DENSE_LIMIT = 256 * 1024 * 1024
+
+#: ``"auto"`` falls through to ``lazy`` past this estimated CSR footprint.
+DEFAULT_SPARSE_LIMIT = 1024 * 1024 * 1024
+
+#: Default number of cached candidate rows in the lazy backend.
+DEFAULT_CACHE_SIZE = 64
+
+
+@runtime_checkable
+class UtilityEstimator(Protocol):
+    """What the solvers need from an influence estimator.
+
+    :class:`~repro.influence.ensemble.WorldEnsemble` satisfies this for
+    every distance backend; alternative estimators (e.g. a future
+    RIS-sketch estimator) can implement it directly and plug into
+    ``lazy_greedy`` / ``plain_greedy`` / the budget and cover solvers
+    unchanged.
+    """
+
+    group_names: List[Hashable]
+    group_sizes: np.ndarray
+
+    @property
+    def n_candidates(self) -> int: ...
+
+    def position(self, node: NodeId) -> int: ...
+
+    def label(self, position: int) -> NodeId: ...
+
+    def empty_state(self) -> Any: ...
+
+    def state_for(self, seeds: Iterable[NodeId]) -> Any: ...
+
+    def add_seed(self, state: Any, position: int) -> None: ...
+
+    def seeds_of(self, state: Any) -> List[NodeId]: ...
+
+    def group_utilities(
+        self, state: Any, deadline: float, discount: Optional[float] = None
+    ) -> np.ndarray: ...
+
+    def candidate_group_utilities(
+        self,
+        state: Any,
+        position: int,
+        deadline: float,
+        discount: Optional[float] = None,
+    ) -> np.ndarray: ...
+
+    def total_utility(self, state: Any, deadline: float) -> float: ...
+
+    def normalized_group_utilities(
+        self, state: Any, deadline: float
+    ) -> np.ndarray: ...
+
+    def memory_bytes(self) -> int: ...
+
+
+class DistanceBackend:
+    """Storage strategy for per-candidate activation-time rows.
+
+    Subclasses provide the two folds the ensemble needs plus a
+    footprint report; everything else (group masks, discounting,
+    deadlines, state bookkeeping) stays in the ensemble and is shared
+    by every backend, which is what makes their outputs bit-identical.
+    """
+
+    name: str = "abstract"
+
+    def min_into(self, best: np.ndarray, position: int) -> None:
+        """In place: ``best = minimum(best, D[:, position, :])``."""
+        raise NotImplementedError
+
+    def min_with(self, best: np.ndarray, position: int) -> np.ndarray:
+        """Fresh array: ``minimum(best, D[:, position, :])`` (no mutation)."""
+        raise NotImplementedError
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the distance store (excludes the sampled worlds)."""
+        raise NotImplementedError
+
+
+class DenseBackend(DistanceBackend):
+    """The original dense tensor ``D[r, c, v]`` (uint8, UNREACHABLE-padded)."""
+
+    name = "dense"
+
+    def __init__(
+        self,
+        worlds: Sequence[LiveEdgeWorld],
+        candidate_indices: np.ndarray,
+        n: int,
+    ) -> None:
+        self._distances = np.stack(
+            [world.distances_from(candidate_indices) for world in worlds]
+        )
+
+    def min_into(self, best: np.ndarray, position: int) -> None:
+        np.minimum(best, self._distances[:, position, :], out=best)
+
+    def min_with(self, best: np.ndarray, position: int) -> np.ndarray:
+        return np.minimum(best, self._distances[:, position, :])
+
+    def memory_bytes(self) -> int:
+        return int(self._distances.nbytes)
+
+
+def _batched_bfs_distances(
+    world: LiveEdgeWorld, candidate_indices: np.ndarray
+) -> sparse.csr_matrix:
+    """Hop distances from every candidate in one world, as shifted CSR.
+
+    Runs one breadth-first search *per level* for all candidates at
+    once: the frontier is a ``(C, n)`` sparse indicator advanced by a
+    single sparse matmul against the world's adjacency.  The result
+    stores ``distance + 1`` for every reachable ``(candidate, node)``
+    pair (so the CSR's implicit zeros unambiguously mean unreachable),
+    with distances clipped to ``UNREACHABLE - 1`` exactly like
+    :meth:`LiveEdgeWorld.distances_from`.
+    """
+    n = world.n
+    n_candidates = len(candidate_indices)
+    adjacency = world.adjacency.astype(np.int32)
+    dist = np.full((n_candidates, n), UNREACHABLE, dtype=np.uint8)
+    rows0 = np.arange(n_candidates)
+    dist[rows0, candidate_indices] = 0
+    frontier = sparse.csr_matrix(
+        (np.ones(n_candidates, dtype=np.int32), (rows0, candidate_indices)),
+        shape=(n_candidates, n),
+    )
+    level = 0
+    while frontier.nnz:
+        level += 1
+        reached = frontier @ adjacency
+        rows, cols = reached.nonzero()
+        fresh = dist[rows, cols] == UNREACHABLE
+        rows, cols = rows[fresh], cols[fresh]
+        if rows.size == 0:
+            break
+        dist[rows, cols] = min(level, UNREACHABLE - 1)
+        frontier = sparse.csr_matrix(
+            (np.ones(rows.size, dtype=np.int32), (rows, cols)),
+            shape=(n_candidates, n),
+        )
+    r_idx, c_idx = np.nonzero(dist != UNREACHABLE)
+    data = dist[r_idx, c_idx] + np.uint8(1)
+    return sparse.csr_matrix((data, (r_idx, c_idx)), shape=(n_candidates, n))
+
+
+class SparseBackend(DistanceBackend):
+    """CSR "reachable-within-t" store: finite times only, O(nnz) memory."""
+
+    name = "sparse"
+
+    def __init__(
+        self,
+        worlds: Sequence[LiveEdgeWorld],
+        candidate_indices: np.ndarray,
+        n: int,
+        first_world_rows: Optional[sparse.csr_matrix] = None,
+    ) -> None:
+        # ``first_world_rows`` lets the "auto" probe hand over world 0's
+        # already-built CSR instead of BFSing that world a second time.
+        self._rows: List[sparse.csr_matrix] = [
+            first_world_rows
+            if i == 0 and first_world_rows is not None
+            else _batched_bfs_distances(world, candidate_indices)
+            for i, world in enumerate(worlds)
+        ]
+
+    def min_into(self, best: np.ndarray, position: int) -> None:
+        for r, mat in enumerate(self._rows):
+            lo, hi = mat.indptr[position], mat.indptr[position + 1]
+            idx = mat.indices[lo:hi]
+            # Entries absent from the CSR are UNREACHABLE and can never
+            # lower ``best``, so only stored entries need the minimum.
+            best[r, idx] = np.minimum(best[r, idx], mat.data[lo:hi] - np.uint8(1))
+
+    def min_with(self, best: np.ndarray, position: int) -> np.ndarray:
+        out = best.copy()
+        self.min_into(out, position)
+        return out
+
+    def memory_bytes(self) -> int:
+        return int(
+            sum(
+                mat.data.nbytes + mat.indices.nbytes + mat.indptr.nbytes
+                for mat in self._rows
+            )
+        )
+
+
+class LazyBackend(DistanceBackend):
+    """On-demand candidate rows with an LRU cache, O(cache·R·n) memory.
+
+    Nothing is precomputed: a query for candidate ``c`` BFSes ``c``'s
+    row in every stored world (scipy's C implementation) and caches the
+    resulting ``(R, n)`` block.  CELF touches a small hot set of
+    candidates over and over, so modest caches capture most traffic —
+    :attr:`hits` / :attr:`misses` expose the rate for tuning.
+    """
+
+    name = "lazy"
+
+    def __init__(
+        self,
+        worlds: Sequence[LiveEdgeWorld],
+        candidate_indices: np.ndarray,
+        n: int,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
+        if cache_size < 1:
+            raise EstimationError(f"cache_size must be >= 1, got {cache_size}")
+        self._worlds = list(worlds)
+        self._candidate_indices = np.asarray(candidate_indices, dtype=np.int64)
+        self.cache_size = int(cache_size)
+        self._cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def _rows_for(self, position: int) -> np.ndarray:
+        cached = self._cache.get(position)
+        if cached is not None:
+            self._cache.move_to_end(position)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        source = [int(self._candidate_indices[position])]
+        rows = np.concatenate(
+            [world.distances_from(source) for world in self._worlds]
+        )
+        self._cache[position] = rows
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+        return rows
+
+    def min_into(self, best: np.ndarray, position: int) -> None:
+        np.minimum(best, self._rows_for(position), out=best)
+
+    def min_with(self, best: np.ndarray, position: int) -> np.ndarray:
+        return np.minimum(best, self._rows_for(position))
+
+    @property
+    def cache_entries(self) -> int:
+        """Number of candidate rows currently cached (≤ ``cache_size``)."""
+        return len(self._cache)
+
+    def memory_bytes(self) -> int:
+        return int(sum(rows.nbytes for rows in self._cache.values()))
+
+
+def check_backend_name(backend: str) -> str:
+    """Validate a backend name (including ``"auto"``) and return it.
+
+    Called before any expensive work — in particular before world
+    sampling — so a typo fails instantly everywhere.
+    """
+    if backend not in BACKEND_CHOICES:
+        raise EstimationError(
+            f"backend must be one of {BACKEND_CHOICES}, got {backend!r}"
+        )
+    return backend
+
+
+def dense_bytes_estimate(n_worlds: int, n_candidates: int, n: int) -> int:
+    """Exact footprint of the dense uint8 tensor for these dimensions."""
+    return int(n_worlds) * int(n_candidates) * int(n)
+
+
+#: Candidate-count cap for the "auto" footprint probe; above this a
+#: stratified subset is probed and scaled instead of all candidates.
+PROBE_CANDIDATE_CAP = 256
+
+
+def _probe_sparse_bytes(
+    worlds: Sequence[LiveEdgeWorld], candidate_indices: np.ndarray
+):
+    """CSR footprint estimate plus a reusable probe when one was built.
+
+    Worlds are i.i.d., so the reachable-pair count of the first world
+    scaled by ``R`` estimates the total; each stored pair costs one
+    data byte plus one ``int32`` index.  With few candidates the full
+    world-0 CSR is built and returned so a subsequent
+    :class:`SparseBackend` build can reuse it instead of BFSing the
+    world twice; with many (where the probe itself would carry the
+    cost profile ``auto`` exists to avoid) only an evenly-spaced
+    subset of ``PROBE_CANDIDATE_CAP`` candidates is BFSed and scaled,
+    and no reusable probe is returned.
+    """
+    n_candidates = len(candidate_indices)
+    n_worlds = len(worlds)
+    if n_candidates <= PROBE_CANDIDATE_CAP:
+        probe = _batched_bfs_distances(worlds[0], candidate_indices)
+        per_world = probe.data.nbytes + probe.indices.nbytes + probe.indptr.nbytes
+        return int(per_world) * n_worlds, probe
+    subset = candidate_indices[
+        np.linspace(0, n_candidates - 1, PROBE_CANDIDATE_CAP).astype(np.int64)
+    ]
+    sample = _batched_bfs_distances(worlds[0], subset)
+    entry_bytes = (sample.data.nbytes + sample.indices.nbytes) * (
+        n_candidates / PROBE_CANDIDATE_CAP
+    )
+    indptr_bytes = 8 * (n_candidates + 1)
+    return int(entry_bytes + indptr_bytes) * n_worlds, None
+
+
+def sparse_bytes_estimate(
+    worlds: Sequence[LiveEdgeWorld], candidate_indices: np.ndarray
+) -> int:
+    """Estimate the CSR store's footprint by probing one world."""
+    return _probe_sparse_bytes(worlds, candidate_indices)[0]
+
+
+def _select_with_probe(
+    worlds: Sequence[LiveEdgeWorld],
+    candidate_indices: np.ndarray,
+    n: int,
+    dense_limit: int,
+    sparse_limit: int,
+):
+    """The ``"auto"`` rule, returning the world-0 probe when one was built."""
+    if dense_bytes_estimate(len(worlds), len(candidate_indices), n) <= dense_limit:
+        return "dense", None
+    estimate, probe = _probe_sparse_bytes(worlds, candidate_indices)
+    if estimate <= sparse_limit:
+        return "sparse", probe
+    return "lazy", None
+
+
+def select_backend(
+    worlds: Sequence[LiveEdgeWorld],
+    candidate_indices: np.ndarray,
+    n: int,
+    dense_limit: int = DEFAULT_DENSE_LIMIT,
+    sparse_limit: int = DEFAULT_SPARSE_LIMIT,
+) -> str:
+    """The ``"auto"`` rule: cheapest backend whose footprint fits.
+
+    1. ``dense`` while ``R * C * n`` bytes stay under ``dense_limit``
+       (fastest queries; the default limit is 256 MiB);
+    2. otherwise ``sparse`` while the probed CSR estimate stays under
+       ``sparse_limit`` (1 GiB by default);
+    3. otherwise ``lazy`` (bounded memory regardless of graph size).
+    """
+    return _select_with_probe(
+        worlds, candidate_indices, n, dense_limit, sparse_limit
+    )[0]
+
+
+#: Options each backend constructor accepts (beyond the positional
+#: worlds/candidates/n).  ``"auto"`` uses this to drop options that
+#: don't apply to whichever backend it resolved to.
+_BACKEND_OPTION_NAMES: Dict[str, frozenset] = {
+    "dense": frozenset(),
+    "sparse": frozenset({"first_world_rows"}),
+    "lazy": frozenset({"cache_size"}),
+}
+
+
+def make_backend(
+    backend: str,
+    worlds: Sequence[LiveEdgeWorld],
+    candidate_indices: np.ndarray,
+    n: int,
+    options: Optional[Dict[str, Any]] = None,
+) -> DistanceBackend:
+    """Instantiate a named backend.
+
+    ``"auto"`` resolves via :func:`select_backend` (selection knobs
+    ``dense_limit`` / ``sparse_limit`` ride in ``options``) and then
+    silently drops options that don't apply to the backend it picked
+    (e.g. ``cache_size`` when auto lands on dense).  An explicitly
+    named backend rejects unknown options instead.
+    """
+    check_backend_name(backend)
+    options = dict(options or {})
+    resolved_by_auto = backend == "auto"
+    if resolved_by_auto:
+        backend, probe = _select_with_probe(
+            worlds,
+            candidate_indices,
+            n,
+            dense_limit=options.pop("dense_limit", DEFAULT_DENSE_LIMIT),
+            sparse_limit=options.pop("sparse_limit", DEFAULT_SPARSE_LIMIT),
+        )
+        options = {
+            k: v for k, v in options.items() if k in _BACKEND_OPTION_NAMES[backend]
+        }
+        if probe is not None:
+            options["first_world_rows"] = probe
+    if backend == "dense":
+        cls = DenseBackend
+    elif backend == "sparse":
+        cls = SparseBackend
+    else:
+        cls = LazyBackend
+    try:
+        return cls(worlds, candidate_indices, n, **options)
+    except TypeError as exc:
+        raise EstimationError(
+            f"invalid options for the {cls.name!r} backend: {sorted(options)} ({exc})"
+        ) from None

@@ -1,0 +1,61 @@
+"""Deadline-rounding semantics, defined once.
+
+Activation times are integer hop counts, so a fractional deadline
+``tau`` admits exactly the nodes activated by ``floor(tau)``.  Before
+this module existed the ensemble clipped via ``int(min(tau, 254))``
+while the Monte Carlo estimator truncated via ``int(tau)`` — the same
+value for non-negative ``tau`` but written twice, unvalidated in one
+place, and easy to drift apart.  Every estimator now routes through the
+two helpers here:
+
+- :func:`clip_deadline` maps ``tau`` onto the stored-distance range of
+  the world ensembles (``uint8``, :data:`~repro.diffusion.worlds.UNREACHABLE`
+  sentinel), so ``math.inf`` becomes the largest storable distance.
+- :func:`simulation_horizon` maps ``tau`` onto a forward-simulation
+  step cap, where ``math.inf`` means "run the cascade to exhaustion"
+  (``None``).
+
+Both floor fractional deadlines (``tau = 2.5`` counts nodes activated
+at step 2) and reject negative ones.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.errors import EstimationError
+from repro.diffusion.worlds import UNREACHABLE
+
+
+def _check_deadline(deadline: float) -> None:
+    if math.isnan(deadline) or deadline < 0:
+        raise EstimationError(f"deadline must be non-negative, got {deadline}")
+
+
+def clip_deadline(deadline: float) -> int:
+    """Map a deadline (possibly fractional or ``math.inf``) onto the
+    stored-distance range ``[0, UNREACHABLE - 1]``.
+
+    This is the cutoff compared against ``uint8`` distance tensors: a
+    node with stored activation time ``t`` is counted iff
+    ``t <= clip_deadline(tau)``.
+    """
+    _check_deadline(deadline)
+    if math.isinf(deadline):
+        return UNREACHABLE - 1
+    return int(math.floor(min(deadline, UNREACHABLE - 1)))
+
+
+def simulation_horizon(deadline: float) -> Optional[int]:
+    """Maximum cascade steps worth simulating for ``deadline``.
+
+    Simulating past the deadline is wasted work; ``None`` (for
+    ``math.inf``) means "no cap".  Unlike :func:`clip_deadline` the
+    horizon is *not* clipped to the ``uint8`` range — forward
+    simulation has no storage ceiling.
+    """
+    _check_deadline(deadline)
+    if math.isinf(deadline):
+        return None
+    return int(math.floor(deadline))

@@ -4,20 +4,28 @@ The greedy algorithms of the paper evaluate ``f_tau`` for thousands of
 candidate seed sets.  Re-simulating cascades for every evaluation (the
 textbook approach) is both slow and noisy — two seed sets would be
 compared on *different* random outcomes.  This module implements the
-standard fix: sample ``R`` live-edge worlds **once**, precompute the
-BFS distance from every candidate source to every node in every world
-(``scipy.sparse.csgraph``, C speed), and evaluate every seed set on the
-same fixed worlds.
+standard fix: sample ``R`` live-edge worlds **once**, fix the per-world
+activation times of every candidate, and evaluate every seed set on
+the same fixed worlds.
 
-With the distance tensor ``D[r, c, v]`` in memory, the state of a
-partially built seed set is just the per-world earliest-activation
-vector ``best[r, v] = min_{s in S} D[r, s, v]``, and
+The state of a partially built seed set is just the per-world
+earliest-activation vector ``best[r, v] = min_{s in S} D[r, s, v]``
+(where ``D[r, c, v]`` is candidate ``c``'s BFS distance to ``v`` in
+world ``r``), and
 
 - adding a seed is an elementwise ``min`` — O(R·n);
 - the expected group utilities of ``S`` are a masked count of
   ``best <= tau`` — O(R·n·k) via one matrix product;
 - the *marginal* utilities of a candidate are the same count on
   ``min(best, D[:, c, :])`` without mutating the state.
+
+*How* ``D`` is stored is delegated to a pluggable
+:class:`~repro.influence.backends.DistanceBackend` (``backend=``):
+``"dense"`` keeps the full uint8 tensor (O(R·C·n), fastest),
+``"sparse"`` keeps per-world CSR rows of finite times only (O(nnz)),
+``"lazy"`` materialises candidate rows on demand behind an LRU cache,
+and ``"auto"`` picks by estimated footprint.  All backends produce
+bit-identical utilities; they trade memory against query speed.
 
 This estimator is unbiased for Eq. 1 for every ``tau``
 simultaneously, which is what lets one ensemble serve a whole
@@ -28,7 +36,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -36,16 +44,13 @@ from repro.errors import EstimationError
 from repro.graph.digraph import DiGraph, NodeId
 from repro.graph.groups import GroupAssignment
 from repro.diffusion.worlds import UNREACHABLE, LiveEdgeWorld, sample_worlds
+from repro.influence.backends import (
+    DistanceBackend,
+    check_backend_name,
+    make_backend,
+)
+from repro.influence.deadlines import clip_deadline as _clip_deadline
 from repro.rng import RngLike, ensure_rng
-
-
-def _clip_deadline(deadline: float) -> int:
-    """Map a deadline (possibly ``math.inf``) onto the stored-distance range."""
-    if deadline < 0:
-        raise EstimationError(f"deadline must be non-negative, got {deadline}")
-    if math.isinf(deadline):
-        return UNREACHABLE - 1
-    return int(min(deadline, UNREACHABLE - 1))
 
 
 @dataclass
@@ -90,6 +95,15 @@ class WorldEnsemble:
         ``"ic"`` (default) or ``"lt"``.
     seed:
         RNG seed for world sampling (determinism).
+    backend:
+        Distance-store backend: ``"dense"`` (default), ``"sparse"``,
+        ``"lazy"``, or ``"auto"`` (pick by estimated memory footprint —
+        see :func:`repro.influence.backends.select_backend`).  The
+        choice affects memory and speed only, never the estimates.
+    backend_options:
+        Extra keyword arguments for the backend constructor (e.g.
+        ``{"cache_size": 128}`` for ``"lazy"``, ``{"dense_limit": ...}``
+        for ``"auto"``).
     """
 
     def __init__(
@@ -100,9 +114,12 @@ class WorldEnsemble:
         candidates: Optional[Sequence[NodeId]] = None,
         model: str = "ic",
         seed: RngLike = None,
+        backend: str = "dense",
+        backend_options: Optional[Dict[str, Any]] = None,
     ) -> None:
         if n_worlds < 1:
             raise EstimationError(f"n_worlds must be >= 1, got {n_worlds}")
+        check_backend_name(backend)  # fail fast, before world sampling
         assignment.validate_for(graph)
         self.graph = graph
         self.assignment = assignment
@@ -128,9 +145,9 @@ class WorldEnsemble:
         self.worlds: List[LiveEdgeWorld] = sample_worlds(
             graph, n_worlds, model=model, seed=rng
         )
-        # Distance tensor D[r, c, v]: uint8, UNREACHABLE-padded.
-        self._distances = np.stack(
-            [world.distances_from(self._candidate_indices) for world in self.worlds]
+        # Activation-time store D[r, c, v] behind the backend interface.
+        self._backend = make_backend(
+            backend, self.worlds, self._candidate_indices, self.n, backend_options
         )
         # Group masks as float32 (k, n) for fast masked counting, plus
         # group sizes for normalisation.
@@ -142,6 +159,17 @@ class WorldEnsemble:
     # ------------------------------------------------------------------
     # candidate bookkeeping
     # ------------------------------------------------------------------
+    @property
+    def backend(self) -> "DistanceBackend":
+        """The active distance backend (for introspection: footprint,
+        cache statistics on the lazy backend, ...)."""
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the active distance backend (after ``"auto"`` resolution)."""
+        return self._backend.name
+
     @property
     def n_candidates(self) -> int:
         return len(self.candidate_labels)
@@ -178,9 +206,7 @@ class WorldEnsemble:
             raise EstimationError(
                 f"candidate {self.label(position)!r} is already a seed"
             )
-        np.minimum(
-            state.best_time, self._distances[:, position, :], out=state.best_time
-        )
+        self._backend.min_into(state.best_time, position)
         state.seed_positions.append(position)
 
     def seeds_of(self, state: InfluenceState) -> List[NodeId]:
@@ -237,7 +263,7 @@ class WorldEnsemble:
     ) -> np.ndarray:
         """Group utilities of ``seeds(state) + {candidate}`` without mutation."""
         cutoff = _clip_deadline(deadline)
-        hypothetical = np.minimum(state.best_time, self._distances[:, position, :])
+        hypothetical = self._backend.min_with(state.best_time, position)
         weights = self._activation_weights(hypothetical, cutoff, discount)
         per_world = weights @ self._masks_f
         return per_world.mean(axis=0).astype(np.float64)
@@ -268,12 +294,12 @@ class WorldEnsemble:
         )
 
     def memory_bytes(self) -> int:
-        """Approximate footprint of the distance tensor (for reports)."""
-        return int(self._distances.nbytes)
+        """Footprint of the backend's distance store (for reports)."""
+        return self._backend.memory_bytes()
 
     def __repr__(self) -> str:
         return (
             f"WorldEnsemble(n={self.n}, worlds={self.n_worlds}, "
             f"candidates={self.n_candidates}, model={self.model!r}, "
-            f"groups={self.group_names!r})"
+            f"backend={self.backend_name!r}, groups={self.group_names!r})"
         )

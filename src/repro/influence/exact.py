@@ -15,7 +15,6 @@ graphs; it serves as ground truth for
 
 from __future__ import annotations
 
-import math
 from collections import deque
 from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
@@ -24,6 +23,7 @@ import numpy as np
 from repro.errors import EstimationError
 from repro.graph.digraph import DiGraph, NodeId
 from repro.graph.groups import GroupAssignment
+from repro.influence.deadlines import simulation_horizon
 
 #: Enumerating beyond this many edges is refused (2^20 worlds ~ 1M).
 MAX_EXACT_EDGES = 20
@@ -84,12 +84,12 @@ def exact_utility(
     else:
         target_mask = np.zeros(n, dtype=bool)
         target_mask[graph.indices_of(list(targets))] = True
-    cutoff = math.inf if math.isinf(deadline) else int(deadline)
+    cutoff = simulation_horizon(deadline)
     expected = 0.0
     for p_world, succ in _enumerate_worlds(graph, max_edges):
         times = _bfs_times(n, succ, seed_idx)
         reached = times >= 0
-        if not math.isinf(cutoff):
+        if cutoff is not None:
             reached &= times <= cutoff
         expected += p_world * float((reached & target_mask).sum())
     return expected
@@ -110,12 +110,12 @@ def exact_group_utilities(
     if seed_idx.size == 0:
         return {g: 0.0 for g in groups}
     n = graph.number_of_nodes()
-    cutoff = math.inf if math.isinf(deadline) else int(deadline)
+    cutoff = simulation_horizon(deadline)
     totals = np.zeros(len(groups), dtype=np.float64)
     for p_world, succ in _enumerate_worlds(graph, max_edges):
         times = _bfs_times(n, succ, seed_idx)
         reached = times >= 0
-        if not math.isinf(cutoff):
+        if cutoff is not None:
             reached &= times <= cutoff
         totals += p_world * (masks @ reached.astype(np.float64))
     return dict(zip(groups, totals.tolist()))

@@ -11,8 +11,7 @@ users who want cascade-level traces.
 
 from __future__ import annotations
 
-import math
-from typing import Dict, Hashable, Iterable, Optional
+from typing import Dict, Hashable, Iterable
 
 import numpy as np
 
@@ -20,14 +19,8 @@ from repro.errors import EstimationError
 from repro.graph.digraph import DiGraph, NodeId
 from repro.graph.groups import GroupAssignment
 from repro.diffusion.models import simulate_ic, simulate_lt
+from repro.influence.deadlines import simulation_horizon
 from repro.rng import RngLike, ensure_rng
-
-
-def _max_steps(deadline: float) -> Optional[int]:
-    """Simulating past the deadline is wasted work; cap the horizon."""
-    if math.isinf(deadline):
-        return None
-    return int(deadline)
 
 
 def monte_carlo_utility(
@@ -41,16 +34,14 @@ def monte_carlo_utility(
     """Estimate ``f_tau(S; V, G)`` by averaging ``n_samples`` cascades."""
     if n_samples < 1:
         raise EstimationError(f"n_samples must be >= 1, got {n_samples}")
-    if deadline < 0:
-        raise EstimationError(f"deadline must be non-negative, got {deadline}")
     rng = ensure_rng(seed)
     simulate = _pick_model(model)
     seeds = list(seeds)
-    cap = _max_steps(deadline)
+    cap = simulation_horizon(deadline)
     total = 0
     for child in rng.spawn(n_samples):
         outcome = simulate(graph, seeds, seed=child, max_steps=cap)
-        total += outcome.count(deadline=None if math.isinf(deadline) else deadline)
+        total += outcome.count(deadline=cap)
     return total / n_samples
 
 
@@ -66,18 +57,15 @@ def monte_carlo_group_utilities(
     """Estimate ``f_tau(S; V_i, G)`` for every group ``i``."""
     if n_samples < 1:
         raise EstimationError(f"n_samples must be >= 1, got {n_samples}")
-    if deadline < 0:
-        raise EstimationError(f"deadline must be non-negative, got {deadline}")
     assignment.validate_for(graph)
     rng = ensure_rng(seed)
     simulate = _pick_model(model)
     seeds = list(seeds)
-    cap = _max_steps(deadline)
+    cap = simulation_horizon(deadline)
     totals = {g: 0.0 for g in assignment.groups}
-    effective = None if math.isinf(deadline) else deadline
     for child in rng.spawn(n_samples):
         outcome = simulate(graph, seeds, seed=child, max_steps=cap)
-        for group, count in outcome.group_counts(assignment, deadline=effective).items():
+        for group, count in outcome.group_counts(assignment, deadline=cap).items():
             totals[group] += count
     return {g: v / n_samples for g, v in totals.items()}
 

@@ -38,6 +38,18 @@ class TestRegistry:
         assert result.experiment_id == "abl_celf"
         assert result.rows
 
+    def test_run_experiment_backend_override(self):
+        from repro.experiments.common import get_default_backend
+
+        before = get_default_backend()
+        result = run_experiment("abl_celf", quick=True, seed=0, backend="sparse")
+        assert result.all_checks_pass
+        assert get_default_backend() == before  # override is scoped
+
+    def test_run_experiment_bad_backend(self):
+        with pytest.raises(ConfigError, match="backend"):
+            run_experiment("fig1", quick=True, seed=0, backend="nope")
+
     def test_registry_functions_callable(self):
         for fn in EXPERIMENTS.values():
             assert callable(fn)
@@ -52,6 +64,15 @@ class TestParser:
         args = build_parser().parse_args(["run", "fig1", "--quick", "--seed", "7"])
         assert args.experiment == "fig1"
         assert args.quick and args.seed == 7
+        assert args.backend is None
+
+    def test_backend_flag(self):
+        args = build_parser().parse_args(["run", "fig1", "--backend", "sparse"])
+        assert args.backend == "sparse"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig1", "--backend", "tensorflow"])
 
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
