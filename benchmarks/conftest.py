@@ -4,13 +4,47 @@ Every per-figure benchmark runs its experiment once (pedantic mode: the
 workloads are seconds-long, so statistical repetition would waste the
 budget), records the wall time, and asserts the experiment's shape
 checks — the qualitative claims of the paper — still hold.
+
+:func:`record_bench` merges measured numbers into a results JSON next
+to the benchmarks (``BENCH_solvers.json`` for the solver/gain-oracle
+suite) so speedups are committed alongside the code that claims them.
 """
 
 from __future__ import annotations
 
+import json
+import time
+from pathlib import Path
+from typing import Callable
+
 import pytest
 
 from repro.experiments.registry import run_experiment
+
+SOLVER_RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_solvers.json"
+
+
+def record_bench(section: str, payload, path: Path = SOLVER_RESULTS_PATH) -> None:
+    """Merge one section of measured results into a bench JSON file."""
+    results = {}
+    if path.exists():
+        results = json.loads(path.read_text())
+    results[section] = payload
+    path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+
+def best_of(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall time of ``fn()`` in seconds.
+
+    Minimum (not mean) is the standard noise-robust statistic for
+    micro-benchmarks: interruptions only ever make a run slower.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
 
 
 def run_and_check(benchmark, experiment_id: str, seed: int = 0):

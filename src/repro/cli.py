@@ -3,7 +3,7 @@
 Usage::
 
     python -m repro.cli list
-    python -m repro.cli run fig4a [--quick] [--seed N] [--backend auto|dense|sparse|lazy]
+    python -m repro.cli run fig4a [--quick] [--seed N] [--backend auto|dense|sparse|lazy] [--block-size N]
     python -m repro.cli run all [--quick]
 
 ``run`` prints the experiment's table, notes, and shape checks; the
@@ -20,6 +20,7 @@ from typing import List, Optional
 
 from repro.experiments.registry import list_experiments, run_experiment
 from repro.influence.backends import BACKEND_CHOICES
+from repro.core.greedy import DEFAULT_BLOCK_SIZE, set_default_block_size
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -52,6 +53,17 @@ def build_parser() -> argparse.ArgumentParser:
             "all backends)"
         ),
     )
+    run.add_argument(
+        "--block-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "candidate block size for the batched gain oracle in the "
+            f"greedy solvers (default: {DEFAULT_BLOCK_SIZE}; 1 disables "
+            "batching; results are identical at every block size)"
+        ),
+    )
     return parser
 
 
@@ -63,6 +75,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(experiment_id)
         return 0
 
+    if args.block_size is not None:
+        set_default_block_size(args.block_size)
     ids = list_experiments() if args.experiment == "all" else [args.experiment]
     failures = 0
     for experiment_id in ids:

@@ -24,7 +24,15 @@ from repro.core.concave import (
     sqrt,
 )
 from repro.core.cover import CoverSolution, solve_fair_tcim_cover, solve_tcim_cover
-from repro.core.greedy import SelectionStep, SelectionTrace, lazy_greedy, plain_greedy
+from repro.core.greedy import (
+    DEFAULT_BLOCK_SIZE,
+    SelectionStep,
+    SelectionTrace,
+    get_default_block_size,
+    lazy_greedy,
+    plain_greedy,
+    set_default_block_size,
+)
 from repro.core.metrics import FairnessComparison, compare_solutions
 from repro.core.objectives import (
     ConcaveSumObjective,
@@ -54,6 +62,9 @@ __all__ = [
     "SelectionTrace",
     "lazy_greedy",
     "plain_greedy",
+    "DEFAULT_BLOCK_SIZE",
+    "get_default_block_size",
+    "set_default_block_size",
     "FairnessComparison",
     "compare_solutions",
     "TheoremCheck",

@@ -66,6 +66,7 @@ def _solve(
     problem: str,
     method: str,
     discount: Optional[float] = None,
+    block_size: Optional[int] = None,
 ) -> BudgetSolution:
     if budget < 1:
         raise OptimizationError(f"budget must be >= 1, got {budget}")
@@ -81,7 +82,12 @@ def _solve(
     else:
         raise OptimizationError(f"method must be 'celf' or 'plain', got {method!r}")
     trace = engine(
-        ensemble, objective, deadline=deadline, max_seeds=budget, discount=discount
+        ensemble,
+        objective,
+        deadline=deadline,
+        max_seeds=budget,
+        discount=discount,
+        block_size=block_size,
     )
     if trace.size == 0:
         raise OptimizationError(
@@ -119,6 +125,7 @@ def solve_tcim_budget(
     deadline: float,
     method: str = "celf",
     discount: Optional[float] = None,
+    block_size: Optional[int] = None,
 ) -> BudgetSolution:
     """Solve P1: maximise total time-critical influence with ``|S| <= B``.
 
@@ -129,7 +136,8 @@ def solve_tcim_budget(
     to the time-discounted extension (a node activated at ``t`` is
     worth ``gamma**t``) named in the paper's conclusions; the returned
     report still scores the seeds with the step utility so solutions
-    remain comparable.
+    remain comparable.  ``block_size`` tunes the batched gain oracle
+    (speed only — see :func:`repro.core.greedy.lazy_greedy`).
     """
     problem = "TCIM-BUDGET(P1)" if discount is None else f"TCIM-BUDGET(P1,gamma={discount:g})"
     return _solve(
@@ -140,6 +148,7 @@ def solve_tcim_budget(
         problem=problem,
         method=method,
         discount=discount,
+        block_size=block_size,
     )
 
 
@@ -151,6 +160,7 @@ def solve_fair_tcim_budget(
     weights: Optional[Sequence[float]] = None,
     method: str = "celf",
     discount: Optional[float] = None,
+    block_size: Optional[int] = None,
 ) -> BudgetSolution:
     """Solve P4: maximise ``sum_i w_i H(f_tau(S; V_i, G))`` with ``|S| <= B``.
 
@@ -173,4 +183,5 @@ def solve_fair_tcim_budget(
         problem=problem,
         method=method,
         discount=discount,
+        block_size=block_size,
     )

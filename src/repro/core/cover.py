@@ -105,6 +105,7 @@ def solve_tcim_cover(
     max_seeds: Optional[int] = None,
     slack: float = DEFAULT_SLACK,
     method: str = "celf",
+    block_size: Optional[int] = None,
 ) -> CoverSolution:
     """Solve P2: smallest greedy seed set with ``f_tau(S;V,G)/|V| >= Q``.
 
@@ -129,6 +130,7 @@ def solve_tcim_cover(
         max_seeds=cap,
         stop=stop,
         require_stop=True,
+        block_size=block_size,
     )
     return _finalize("TCIM-COVER(P2)", ensemble, trace, deadline, quota)
 
@@ -140,6 +142,7 @@ def solve_fair_tcim_cover(
     max_seeds: Optional[int] = None,
     slack: float = DEFAULT_SLACK,
     method: str = "celf",
+    block_size: Optional[int] = None,
 ) -> CoverSolution:
     """Solve P6: smallest greedy seed set reaching quota ``Q`` in *every*
     group.
@@ -166,6 +169,7 @@ def solve_fair_tcim_cover(
         max_seeds=cap,
         stop=stop,
         require_stop=True,
+        block_size=block_size,
     )
     return _finalize("FAIRTCIM-COVER(P6)", ensemble, trace, deadline, quota)
 

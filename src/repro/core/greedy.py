@@ -13,6 +13,15 @@ utility evaluations by one to two orders of magnitude;
 :func:`plain_greedy` is retained as the reference oracle (identical
 output under identical tie-breaking) and for the CELF ablation bench.
 
+Both engines drive their bulk evaluations — CELF's first round, every
+plain-greedy round — through the estimator's *batched gain oracle*
+(``candidate_gains_batch``) in blocks of ``block_size`` candidates,
+which replaces per-candidate array allocations and matmuls with one
+blocked fold and one stacked contraction per block.  The oracle is
+bit-identical to the scalar path, so traces are unchanged; estimators
+that do not implement it (feature-detected with ``getattr``) fall back
+to per-candidate queries automatically, as does ``block_size=1``.
+
 Tie-breaking is deterministic everywhere: equal gains resolve to the
 lowest candidate position, so runs are exactly reproducible.
 """
@@ -21,7 +30,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,7 +42,70 @@ from repro.core.objectives import Objective
 #: Marginal gains below this are treated as zero (Monte Carlo noise floor).
 GAIN_TOLERANCE = 1e-12
 
+#: Default candidate-block size for the batched gain oracle.  Tuned on
+#: the synthetic SBM bench (see ``benchmarks/bench_gains.py``): the
+#: speedup curve is flat from ~32 upward, so 64 keeps scratch buffers
+#: small (``block_size * R * n`` bytes each) without leaving speed on
+#: the table.
+DEFAULT_BLOCK_SIZE = 64
+
+_default_block_size = DEFAULT_BLOCK_SIZE
+
 StopCondition = Callable[[np.ndarray], bool]
+
+
+def set_default_block_size(block_size: int) -> None:
+    """Set the process-wide block size for batched gain evaluation.
+
+    ``1`` disables batching entirely (pure scalar path — what the
+    equivalence tests diff against); the CLI's ``--block-size`` flag
+    lands here.
+    """
+    if block_size < 1:
+        raise OptimizationError(f"block_size must be >= 1, got {block_size}")
+    global _default_block_size
+    _default_block_size = int(block_size)
+
+
+def get_default_block_size() -> int:
+    """The block size used when an engine is not given one explicitly."""
+    return _default_block_size
+
+
+def _iter_gain_blocks(
+    ensemble: UtilityEstimator,
+    state,
+    positions: Sequence[int],
+    objective: Objective,
+    deadline: float,
+    discount: Optional[float],
+    base_value: float,
+    block_size: int,
+) -> Iterator[Tuple[int, float]]:
+    """Yield ``(position, gain)`` for every candidate in ``positions``.
+
+    Routes through ``candidate_gains_batch`` in ``block_size`` chunks
+    when the estimator provides it, and falls back to per-candidate
+    scalar queries otherwise — yielding identical values in identical
+    order either way, which is what keeps batched and scalar greedy
+    traces bit-for-bit equal.
+    """
+    batch_oracle = getattr(ensemble, "candidate_gains_batch", None)
+    if batch_oracle is None or block_size <= 1:
+        for position in positions:
+            utilities = ensemble.candidate_group_utilities(
+                state, position, deadline, discount
+            )
+            yield position, objective.value(utilities) - base_value
+        return
+    positions = list(positions)
+    for start in range(0, len(positions), block_size):
+        block = positions[start : start + block_size]
+        gains = batch_oracle(
+            state, block, deadline, objective, discount, base_value=base_value
+        )
+        for position, gain in zip(block, gains):
+            yield position, float(gain)
 
 
 @dataclass(frozen=True)
@@ -100,6 +172,7 @@ def lazy_greedy(
     stop: Optional[StopCondition] = None,
     require_stop: bool = False,
     discount: Optional[float] = None,
+    block_size: Optional[int] = None,
 ) -> SelectionTrace:
     """CELF lazy greedy maximisation.
 
@@ -126,12 +199,19 @@ def lazy_greedy(
         candidates/progress raises :class:`InfeasibleError` (cover
         semantics).  If ``False`` the trace is returned as-is (budget
         semantics).
+    block_size:
+        Candidate block size for the batched gain oracle that scores
+        the CELF first round (``None`` — the process default, see
+        :func:`set_default_block_size`; ``1`` — pure scalar path).
+        Never changes the output, only the speed.
 
     Returns the :class:`SelectionTrace`; ``trace.stopped_reason`` is one
     of ``"budget"``, ``"stop-condition"``, ``"no-gain"``,
     ``"exhausted"``.
     """
     _check_arguments(ensemble, max_seeds)
+    if block_size is None:
+        block_size = _default_block_size
     state = ensemble.empty_state()
     current_value = objective.value(ensemble.group_utilities(state, deadline, discount))
     trace = SelectionTrace()
@@ -141,12 +221,22 @@ def lazy_greedy(
         return trace
 
     # Heap entries: (-gain_upper_bound, position, round_when_scored).
+    # The first round scores every candidate, so it goes through the
+    # batched oracle; CELF re-evaluations after that touch one stale
+    # candidate at a time and stay scalar.
     heap: List[tuple] = []
     round_no = 0
     evaluations = 0
-    for position in range(ensemble.n_candidates):
-        utilities = ensemble.candidate_group_utilities(state, position, deadline, discount)
-        gain = objective.value(utilities) - current_value
+    for position, gain in _iter_gain_blocks(
+        ensemble,
+        state,
+        range(ensemble.n_candidates),
+        objective,
+        deadline,
+        discount,
+        current_value,
+        block_size,
+    ):
         evaluations += 1
         heapq.heappush(heap, (-gain, position, round_no))
 
@@ -205,14 +295,19 @@ def plain_greedy(
     stop: Optional[StopCondition] = None,
     require_stop: bool = False,
     discount: Optional[float] = None,
+    block_size: Optional[int] = None,
 ) -> SelectionTrace:
     """Reference greedy: every candidate re-evaluated every round.
 
     Semantically identical to :func:`lazy_greedy` (same tie-breaking),
     quadratically more utility evaluations.  Kept as the test oracle
-    and for the CELF ablation.
+    and for the CELF ablation.  Every round's full re-evaluation runs
+    through the batched gain oracle (see :func:`lazy_greedy`'s
+    ``block_size``), which is what keeps the oracle usable at all.
     """
     _check_arguments(ensemble, max_seeds)
+    if block_size is None:
+        block_size = _default_block_size
     state = ensemble.empty_state()
     current_value = objective.value(ensemble.group_utilities(state, deadline, discount))
     trace = SelectionTrace()
@@ -226,11 +321,21 @@ def plain_greedy(
         best_gain = -np.inf
         best_position = -1
         evaluations = 0
-        for position in range(ensemble.n_candidates):
-            if position in chosen:
-                continue
-            utilities = ensemble.candidate_group_utilities(state, position, deadline, discount)
-            gain = objective.value(utilities) - current_value
+        remaining = [
+            position
+            for position in range(ensemble.n_candidates)
+            if position not in chosen
+        ]
+        for position, gain in _iter_gain_blocks(
+            ensemble,
+            state,
+            remaining,
+            objective,
+            deadline,
+            discount,
+            current_value,
+            block_size,
+        ):
             evaluations += 1
             if gain > best_gain + GAIN_TOLERANCE:
                 best_gain = gain

@@ -20,6 +20,7 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.errors import EstimationError
 from repro.graph.digraph import DiGraph
 from repro.graph.groups import GroupAssignment
 from repro.influence.ensemble import WorldEnsemble
@@ -46,6 +47,32 @@ class TheoremCheck:
         return self.lhs - self.rhs if "Theorem 1" in self.theorem else self.rhs - self.lhs
 
 
+def _ensemble_for_check(
+    graph: DiGraph,
+    assignment: GroupAssignment,
+    n_worlds: int,
+    seed: Optional[int],
+    backend: str,
+    ensemble: Optional[WorldEnsemble],
+) -> WorldEnsemble:
+    """Build the estimator, or validate and reuse a caller-provided one.
+
+    World sampling + the distance store dominate a theorem check's
+    cost, and runs sweeping (concave, tau, quota) rebuild *identical*
+    ensembles (same graph, worlds, seed) each time — passing one in
+    shares that work with no change in results.
+    """
+    if ensemble is None:
+        return WorldEnsemble(
+            graph, assignment, n_worlds=n_worlds, seed=seed, backend=backend
+        )
+    if ensemble.graph is not graph or ensemble.assignment is not assignment:
+        raise EstimationError(
+            "the provided ensemble was built for a different graph/assignment"
+        )
+    return ensemble
+
+
 def check_theorem1(
     graph: DiGraph,
     assignment: GroupAssignment,
@@ -56,6 +83,7 @@ def check_theorem1(
     seed: Optional[int] = 0,
     estimator_tolerance: float = 0.0,
     backend: str = "dense",
+    ensemble: Optional[WorldEnsemble] = None,
 ) -> TheoremCheck:
     """Measure Theorem 1 on one instance.
 
@@ -64,9 +92,11 @@ def check_theorem1(
     against the exact optimum is apples-to-apples.
     ``estimator_tolerance`` loosens the check to absorb the remaining
     gap between the greedy-on-estimate selection and exact scoring.
+    ``ensemble`` reuses a pre-built estimator for the greedy side
+    (``n_worlds``/``seed``/``backend`` are then ignored).
     """
-    ensemble = WorldEnsemble(
-        graph, assignment, n_worlds=n_worlds, seed=seed, backend=backend
+    ensemble = _ensemble_for_check(
+        graph, assignment, n_worlds, seed, backend, ensemble
     )
     fair = solve_fair_tcim_budget(ensemble, budget, deadline, concave=concave)
     greedy_total = exact_utility(graph, fair.seeds, deadline)
@@ -94,15 +124,17 @@ def check_theorem2(
     n_worlds: int = 400,
     seed: Optional[int] = 0,
     backend: str = "dense",
+    ensemble: Optional[WorldEnsemble] = None,
 ) -> TheoremCheck:
     """Measure Theorem 2 on one instance.
 
     ``sum_i |S*_i|`` uses brute-force optimal covers of each group
     individually (problem P2 with ``Y = V_i``), exactly as the theorem
-    statement defines them.
+    statement defines them.  ``ensemble`` reuses a pre-built estimator
+    (``n_worlds``/``seed``/``backend`` are then ignored).
     """
-    ensemble = WorldEnsemble(
-        graph, assignment, n_worlds=n_worlds, seed=seed, backend=backend
+    ensemble = _ensemble_for_check(
+        graph, assignment, n_worlds, seed, backend, ensemble
     )
     fair = solve_fair_tcim_cover(ensemble, quota, deadline)
 

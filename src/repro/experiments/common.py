@@ -158,6 +158,64 @@ def prefix_fractions(
     return results
 
 
+def deadline_sweep_fractions(
+    ensemble: UtilityEstimator,
+    seeds: Sequence[NodeId],
+    deadlines: Sequence[float],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Total and per-group influenced fractions of one seed set at
+    every deadline.
+
+    Returns ``(totals, fractions)`` with shapes ``(T,)`` and ``(T, k)``
+    for ``T`` deadlines.  Activation times are fixed once the ensemble
+    is sampled, so the whole sweep is answered from one
+    ``group_utilities_sweep`` histogram — O(1) per extra deadline —
+    falling back to per-deadline scalar queries for estimators without
+    the sweep oracle.
+    """
+    state = ensemble.state_for(seeds)
+    sweep = getattr(ensemble, "group_utilities_sweep", None)
+    if sweep is not None:
+        utilities = sweep(state, deadlines)
+    else:
+        utilities = np.stack(
+            [ensemble.group_utilities(state, deadline) for deadline in deadlines]
+        )
+    population = float(ensemble.group_sizes.sum())
+    totals = utilities.sum(axis=1) / population
+    fractions = utilities / ensemble.group_sizes[np.newaxis, :]
+    return totals, fractions
+
+
+def deadline_sweep_disparities(
+    ensemble: UtilityEstimator,
+    seeds: Sequence[NodeId],
+    deadlines: Sequence[float],
+    group_a: Optional[Hashable] = None,
+    group_b: Optional[Hashable] = None,
+) -> List[float]:
+    """Eq.-2 disparity of one *fixed* seed set at every deadline.
+
+    By default the disparity is max-vs-min over all groups (the
+    two-group datasets' ``|f_1 - f_2|``); passing ``group_a`` /
+    ``group_b`` restricts it to a named pair (the Rice experiments
+    report V1/V2).  One sweep call serves every deadline.
+    """
+    if (group_a is None) != (group_b is None):
+        raise ConfigError(
+            "pass both group_a and group_b to restrict the disparity to a "
+            "pair, or neither for the max-vs-min disparity"
+        )
+    _, fractions = deadline_sweep_fractions(ensemble, seeds, deadlines)
+    if group_a is None:
+        return [
+            float(row.max() - row.min()) for row in fractions
+        ]
+    ia = ensemble.group_names.index(group_a)
+    ib = ensemble.group_names.index(group_b)
+    return [float(abs(row[ia] - row[ib])) for row in fractions]
+
+
 def max_disparity_pair(
     ensemble: UtilityEstimator, state_or_solution, deadline: float
 ) -> PairDisparity:

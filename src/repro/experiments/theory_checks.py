@@ -8,10 +8,14 @@ can be *measured* rather than assumed.
 
 from __future__ import annotations
 
+import math
 from typing import Tuple
+
+import numpy as np
 
 from repro.graph.digraph import DiGraph
 from repro.graph.groups import GroupAssignment
+from repro.influence.ensemble import WorldEnsemble
 from repro.core.concave import log1p, sqrt
 from repro.core.theory import check_theorem1, check_theorem2
 from repro.experiments.common import get_default_backend
@@ -44,10 +48,28 @@ def theorem_graph(activation: float = 0.6) -> Tuple[DiGraph, GroupAssignment]:
     return graph, assignment
 
 
+def _shared_ensemble(graph, assignment, n_worlds: int, seed: int) -> WorldEnsemble:
+    """One estimator per theorem experiment.
+
+    Every (H, tau, Q) combination used to rebuild an *identical*
+    ensemble (same graph, same world seed) inside its check; building
+    it once and passing it down shares the world sampling and distance
+    store with zero change in results.
+    """
+    return WorldEnsemble(
+        graph,
+        assignment,
+        n_worlds=n_worlds,
+        seed=seed,
+        backend=get_default_backend(),
+    )
+
+
 def run_thm1(quick: bool = False, seed: int = 0) -> ExperimentResult:
     """Theorem 1 measured for H=log and H=sqrt at two deadlines."""
     graph, assignment = theorem_graph()
     n_worlds = 200 if quick else 600
+    ensemble = _shared_ensemble(graph, assignment, n_worlds, seed)
     result = ExperimentResult(
         experiment_id="thm1",
         title="Theorem 1: f(greedy-P4) >= (1-1/e) * H(f(P1 optimum))",
@@ -62,13 +84,23 @@ def run_thm1(quick: bool = False, seed: int = 0) -> ExperimentResult:
                 budget=2,
                 deadline=tau,
                 concave=concave,
-                n_worlds=n_worlds,
-                seed=seed,
-                backend=get_default_backend(),
+                ensemble=ensemble,
             )
             result.add_row(concave.name, tau, check.lhs, check.rhs, check.holds)
             all_hold &= check.holds
     result.check("Theorem 1 inequality holds on every measured instance", all_hold)
+
+    # Structural sanity behind every deadline argument in the paper:
+    # utilities are non-decreasing in tau.  One sweep histogram answers
+    # the whole deadline ladder for a fixed seed set.
+    state = ensemble.state_for(ensemble.candidate_labels[:2])
+    sweep = ensemble.group_utilities_sweep(state, (1, 2, 4, math.inf))
+    result.check(
+        "estimated group utilities are non-decreasing in tau "
+        "(group_utilities_sweep over tau=1,2,4,inf)",
+        bool((np.diff(sweep, axis=0) >= -1e-12).all()),
+        f"sweep totals {[round(float(row.sum()), 3) for row in sweep]}",
+    )
     return result
 
 
@@ -76,6 +108,7 @@ def run_thm2(quick: bool = False, seed: int = 0) -> ExperimentResult:
     """Theorem 2 measured at two quotas."""
     graph, assignment = theorem_graph(activation=0.9)
     n_worlds = 200 if quick else 600
+    ensemble = _shared_ensemble(graph, assignment, n_worlds, seed)
     result = ExperimentResult(
         experiment_id="thm2",
         title="Theorem 2: |greedy-P6| <= ln(1+|V|) * sum_i |S*_i|",
@@ -89,9 +122,7 @@ def run_thm2(quick: bool = False, seed: int = 0) -> ExperimentResult:
                 assignment,
                 quota=quota,
                 deadline=tau,
-                n_worlds=n_worlds,
-                seed=seed,
-                backend=get_default_backend(),
+                ensemble=ensemble,
             )
             result.add_row(quota, tau, check.lhs, check.rhs, check.holds)
             all_hold &= check.holds

@@ -30,6 +30,7 @@ Plus the fairness measurements of Section 4:
 from repro.influence.backends import (
     BACKEND_CHOICES,
     BACKEND_NAMES,
+    BatchGainEstimator,
     DenseBackend,
     DistanceBackend,
     LazyBackend,
@@ -55,6 +56,7 @@ __all__ = [
     "WorldEnsemble",
     "InfluenceState",
     "UtilityEstimator",
+    "BatchGainEstimator",
     "DistanceBackend",
     "DenseBackend",
     "SparseBackend",

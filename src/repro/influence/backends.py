@@ -1,11 +1,15 @@
 """Pluggable estimator backends for the world-ensemble distance store.
 
 The common-random-numbers estimator (:class:`~repro.influence.ensemble.
-WorldEnsemble`) reduces every utility query to two primitive operations
-on per-candidate activation-time rows:
+WorldEnsemble`) reduces every utility query to three primitive
+operations on per-candidate activation-time rows:
 
 - fold candidate ``c``'s times into a state: ``best = min(best, D[:, c, :])``;
-- the same fold *without mutation*, for marginal-gain queries.
+- the same fold *without mutation*, for marginal-gain queries;
+- the same non-mutating fold for a whole *block* of candidates at once
+  (:meth:`DistanceBackend.min_with_block`), writing into a
+  caller-provided scratch buffer — the primitive behind the batched
+  gain oracle that the greedy solvers' hot loops run on.
 
 How those rows are stored is what limits scale.  This module isolates
 the storage decision behind :class:`DistanceBackend` with three
@@ -126,6 +130,47 @@ class UtilityEstimator(Protocol):
     def memory_bytes(self) -> int: ...
 
 
+@runtime_checkable
+class BatchGainEstimator(UtilityEstimator, Protocol):
+    """A :class:`UtilityEstimator` with the batched accelerations.
+
+    The batched gain oracle and the deadline sweep are *optional*: the
+    greedy engines and sweep helpers feature-detect them with
+    ``getattr`` and fall back to per-candidate / per-deadline scalar
+    queries, so a minimal estimator that satisfies only
+    :class:`UtilityEstimator` still plugs in — it just runs the slow
+    path.  Do not subclass this protocol to inherit stub methods;
+    implement the methods for real (the feature detection trusts their
+    presence).  :class:`~repro.influence.ensemble.WorldEnsemble`
+    satisfies it under every distance backend.
+    """
+
+    def candidate_group_utilities_batch(
+        self,
+        state: Any,
+        positions: Sequence[int],
+        deadline: float,
+        discount: Optional[float] = None,
+    ) -> np.ndarray: ...
+
+    def candidate_gains_batch(
+        self,
+        state: Any,
+        positions: Sequence[int],
+        deadline: float,
+        objective: Any,
+        discount: Optional[float] = None,
+        base_value: Optional[float] = None,
+    ) -> np.ndarray: ...
+
+    def group_utilities_sweep(
+        self,
+        state: Any,
+        deadlines: Sequence[float],
+        discount: Optional[float] = None,
+    ) -> np.ndarray: ...
+
+
 class DistanceBackend:
     """Storage strategy for per-candidate activation-time rows.
 
@@ -144,6 +189,42 @@ class DistanceBackend:
     def min_with(self, best: np.ndarray, position: int) -> np.ndarray:
         """Fresh array: ``minimum(best, D[:, position, :])`` (no mutation)."""
         raise NotImplementedError
+
+    def min_with_block(
+        self, best: np.ndarray, positions: Sequence[int], out: np.ndarray
+    ) -> np.ndarray:
+        """Blocked fold: ``out[i] = minimum(best, D[:, positions[i], :])``.
+
+        ``out`` must be a ``(len(positions), R, n)`` uint8 buffer the
+        caller owns (the ensemble keeps one per block size and reuses
+        it), so a whole candidate block is scored without any per-call
+        allocation.  Every entry of ``out`` is overwritten.  The base
+        implementation copies ``best`` into each slab and applies
+        :meth:`min_into`; backends override it where a genuinely
+        blocked fold is cheaper.  Values are bit-identical to
+        ``min_with`` called per position.
+        """
+        for i, position in enumerate(positions):
+            np.copyto(out[i], best)
+            self.min_into(out[i], position)
+        return out
+
+    def empty_state_histogram(
+        self, group_index: np.ndarray, n_groups: int
+    ) -> Optional[np.ndarray]:
+        """Per-candidate activation-time histogram of the *empty* state.
+
+        Returns ``hist[c, g, t]`` — how many nodes of group ``g`` each
+        candidate ``c`` activates at exactly time ``t``, summed over all
+        worlds — or ``None`` when the backend cannot produce it without
+        defeating its own design (the lazy store would have to
+        materialise every row).  Against the empty state the fold is
+        the identity (``min(UNREACHABLE, D_c) = D_c``), so this table
+        answers a first greedy round at *any* deadline with exact
+        integer counts: the ensemble caches its cumulative sum as a
+        state-independent gain table.
+        """
+        return None
 
     def memory_bytes(self) -> int:
         """Bytes held by the distance store (excludes the sampled worlds)."""
@@ -170,6 +251,51 @@ class DenseBackend(DistanceBackend):
 
     def min_with(self, best: np.ndarray, position: int) -> np.ndarray:
         return np.minimum(best, self._distances[:, position, :])
+
+    def min_with_block(
+        self, best: np.ndarray, positions: Sequence[int], out: np.ndarray
+    ) -> np.ndarray:
+        positions = np.asarray(positions)
+        if positions.size and np.array_equal(
+            positions, np.arange(positions[0], positions[0] + positions.size)
+        ):
+            # Contiguous block (the CELF first round always is): the
+            # slab is a transposed *view* of the tensor, so the whole
+            # fold is one blocked minimum with zero copies beyond the
+            # reusable scratch buffer.
+            slab = self._distances[
+                :, int(positions[0]) : int(positions[0]) + positions.size, :
+            ].transpose(1, 0, 2)
+            return np.minimum(slab, best[np.newaxis], out=out)
+        # Scattered positions (later plain-greedy rounds): fancy
+        # indexing would copy the slab, so fold row views one by one —
+        # still allocation-free and bit-identical.
+        for i, position in enumerate(positions):
+            np.minimum(best, self._distances[:, int(position), :], out=out[i])
+        return out
+
+    def empty_state_histogram(
+        self, group_index: np.ndarray, n_groups: int
+    ) -> np.ndarray:
+        # Only finite entries matter (cutoffs never reach the
+        # UNREACHABLE sentinel), and on live-edge worlds they are a few
+        # percent of the tensor: one boolean scan finds them, one
+        # bincount over fused (candidate, group, time) codes counts
+        # them.
+        n_candidates = self._distances.shape[1]
+        size = n_candidates * n_groups * 256
+        hist = np.zeros(size, dtype=np.int64)
+        # One world at a time keeps the transient mask/index arrays at
+        # 1/R of the tensor instead of materialising a full-tensor bool
+        # mask next to a store that may already be near its memory
+        # ceiling.
+        for world_slice in self._distances:
+            finite = world_slice != UNREACHABLE
+            c_idx, v_idx = np.nonzero(finite)
+            codes = (c_idx * n_groups + group_index[v_idx]) * 256
+            codes += world_slice[finite]
+            hist += np.bincount(codes, minlength=size)
+        return hist.reshape(n_candidates, n_groups, 256)
 
     def memory_bytes(self) -> int:
         return int(self._distances.nbytes)
@@ -251,6 +377,45 @@ class SparseBackend(DistanceBackend):
         self.min_into(out, position)
         return out
 
+    def min_with_block(
+        self, best: np.ndarray, positions: Sequence[int], out: np.ndarray
+    ) -> np.ndarray:
+        # One broadcast copy of the state, then per-world CSR row
+        # minimums for every candidate in the block.  Only the stored
+        # (finite) entries are touched, so the inner work is O(nnz of
+        # the block), not O(block * R * n).
+        np.copyto(out, best[np.newaxis])
+        for i, position in enumerate(positions):
+            position = int(position)
+            for r, mat in enumerate(self._rows):
+                lo, hi = mat.indptr[position], mat.indptr[position + 1]
+                idx = mat.indices[lo:hi]
+                out[i, r, idx] = np.minimum(
+                    out[i, r, idx], mat.data[lo:hi] - np.uint8(1)
+                )
+        return out
+
+    def empty_state_histogram(
+        self, group_index: np.ndarray, n_groups: int
+    ) -> np.ndarray:
+        # The CSR stores exactly the finite (candidate, node, time)
+        # triples the histogram needs; one fused bincount over all
+        # worlds' entries builds it in O(nnz).
+        n_candidates = self._rows[0].shape[0]
+        per_world_codes = []
+        for mat in self._rows:
+            rows = np.repeat(
+                np.arange(n_candidates, dtype=np.int64), np.diff(mat.indptr)
+            )
+            codes = (rows * n_groups + group_index[mat.indices]) * 256
+            codes += mat.data.astype(np.int64) - 1  # stored as distance + 1
+            per_world_codes.append(codes)
+        hist = np.bincount(
+            np.concatenate(per_world_codes),
+            minlength=n_candidates * n_groups * 256,
+        )
+        return hist.reshape(n_candidates, n_groups, 256)
+
     def memory_bytes(self) -> int:
         return int(
             sum(
@@ -309,6 +474,16 @@ class LazyBackend(DistanceBackend):
 
     def min_with(self, best: np.ndarray, position: int) -> np.ndarray:
         return np.minimum(best, self._rows_for(position))
+
+    def min_with_block(
+        self, best: np.ndarray, positions: Sequence[int], out: np.ndarray
+    ) -> np.ndarray:
+        # Row batches flow through the same LRU cache as scalar
+        # queries, so a CELF first round in blocks warms exactly the
+        # rows later lazy re-evaluations will hit.
+        for i, position in enumerate(positions):
+            np.minimum(best, self._rows_for(int(position)), out=out[i])
+        return out
 
     @property
     def cache_entries(self) -> int:

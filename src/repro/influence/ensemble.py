@@ -17,7 +17,16 @@ world ``r``), and
 - the expected group utilities of ``S`` are a masked count of
   ``best <= tau`` — O(R·n·k) via one matrix product;
 - the *marginal* utilities of a candidate are the same count on
-  ``min(best, D[:, c, :])`` without mutating the state.
+  ``min(best, D[:, c, :])`` without mutating the state;
+- the marginal utilities of a whole *block* of candidates are one
+  blocked fold plus one stacked ``(B, R, n) @ (n, k)`` contraction
+  (:meth:`WorldEnsemble.candidate_group_utilities_batch`) into
+  reusable scratch buffers — the batched gain oracle the greedy hot
+  loops run on, bit-identical to the per-candidate path;
+- a whole *deadline sweep* for a fixed seed set is one ``uint8``
+  bincount into a per-group activation-time histogram plus a
+  cumulative sum (:meth:`WorldEnsemble.group_utilities_sweep`) — O(k)
+  per additional deadline after the histogram.
 
 *How* ``D`` is stored is delegated to a pluggable
 :class:`~repro.influence.backends.DistanceBackend` (``backend=``):
@@ -155,6 +164,23 @@ class WorldEnsemble:
         self._masks_f = self._masks_bool.T.astype(np.float32)  # (n, k)
         self.group_names: List[Hashable] = assignment.groups
         self.group_sizes = assignment.sizes().astype(np.float64)
+        # Groups partition the nodes, so each column of the mask matrix
+        # has exactly one True: argmax recovers the group index of every
+        # node (used by the deadline-sweep histogram).
+        self._group_index = self._masks_bool.argmax(axis=0).astype(np.int64)
+        # Reusable scratch for the batched gain oracle, grown on demand
+        # to the largest block ever requested (see ``_batch_scratch``).
+        self._scratch_times: Optional[np.ndarray] = None  # (B, R, n) uint8
+        self._scratch_active: Optional[np.ndarray] = None  # (B, R, n) bool
+        self._scratch_weights: Optional[np.ndarray] = None  # (B, R, n) float32
+        self._scratch_per_world: Optional[np.ndarray] = None  # (B, R, k) float32
+        # Lazily built caches: the state-independent empty-state gain
+        # table (cumulative per-candidate time histogram — answers any
+        # first greedy round at any deadline) and the fused
+        # (world, group) code base for sweep histograms.
+        self._empty_gain_table: Optional[np.ndarray] = None  # (C, k, 256) cumsum
+        self._empty_gain_table_missing = False
+        self._sweep_code_base: Optional[np.ndarray] = None  # (R, n) int64
 
     # ------------------------------------------------------------------
     # candidate bookkeeping
@@ -215,6 +241,11 @@ class WorldEnsemble:
     # ------------------------------------------------------------------
     # utility queries
     # ------------------------------------------------------------------
+    @staticmethod
+    def _check_discount(discount) -> None:
+        if discount is not None and not 0.0 <= discount <= 1.0:
+            raise EstimationError(f"discount must be in [0, 1], got {discount}")
+
     def _activation_weights(self, times: np.ndarray, cutoff: int, discount) -> np.ndarray:
         """Per-node utility weights for activation times ``times``.
 
@@ -224,16 +255,41 @@ class WorldEnsemble:
         at time ``t <= deadline`` is worth ``gamma**t`` instead — being
         informed earlier is worth more.  ``gamma=1`` recovers the step
         model exactly.
+
+        The discounted power is evaluated *only* where ``t <= cutoff``
+        (masked ``np.power``): times past the deadline — including the
+        ``UNREACHABLE`` sentinel rows that dominate sparse states —
+        contribute weight 0 without paying for a transcendental.
         """
         active = times <= cutoff
         if discount is None:
             return active.astype(np.float32)
-        if not 0.0 <= discount <= 1.0:
-            raise EstimationError(f"discount must be in [0, 1], got {discount}")
-        weights = np.power(
-            np.float32(discount), times.astype(np.float32), dtype=np.float32
-        )
-        return weights * active
+        self._check_discount(discount)
+        weights = np.zeros(times.shape, dtype=np.float32)
+        np.power(np.float32(discount), times, out=weights, where=active, dtype=np.float32)
+        return weights
+
+    def _activation_weights_into(
+        self,
+        times: np.ndarray,
+        cutoff: int,
+        discount,
+        active: np.ndarray,
+        out: np.ndarray,
+    ) -> np.ndarray:
+        """:meth:`_activation_weights` into caller-owned scratch.
+
+        Same values bit-for-bit, zero allocation — the batched oracle
+        calls this once per block with its reusable buffers.
+        """
+        np.less_equal(times, cutoff, out=active)
+        if discount is None:
+            np.copyto(out, active)  # bool -> {0.0, 1.0} float32
+            return out
+        self._check_discount(discount)
+        out.fill(0.0)
+        np.power(np.float32(discount), times, out=out, where=active, dtype=np.float32)
+        return out
 
     def group_utilities(
         self,
@@ -268,6 +324,252 @@ class WorldEnsemble:
         per_world = weights @ self._masks_f
         return per_world.mean(axis=0).astype(np.float64)
 
+    # ------------------------------------------------------------------
+    # batched gain oracle
+    # ------------------------------------------------------------------
+    def _batch_scratch(self, block: int):
+        """Views of the reusable block buffers, grown to ``block`` rows.
+
+        The buffers persist across calls (CELF's first round issues
+        ``n_candidates / block_size`` of them), so steady-state batched
+        queries allocate nothing beyond the tiny per-block outputs.
+        Not thread-safe: one in-flight batched query per ensemble.
+        """
+        if self._scratch_times is None or self._scratch_times.shape[0] < block:
+            shape = (block, self.n_worlds, self.n)
+            self._scratch_times = np.empty(shape, dtype=np.uint8)
+            self._scratch_active = np.empty(shape, dtype=bool)
+            self._scratch_weights = np.empty(shape, dtype=np.float32)
+            self._scratch_per_world = np.empty(
+                (block, self.n_worlds, len(self.group_names)), dtype=np.float32
+            )
+        return (
+            self._scratch_times[:block],
+            self._scratch_active[:block],
+            self._scratch_weights[:block],
+            self._scratch_per_world[:block],
+        )
+
+    #: The empty-state gain table is skipped beyond this footprint —
+    #: on memory-constrained backends (sparse at web scale) a
+    #: ``(C, k, 256)`` int64 table could otherwise dwarf the distance
+    #: store it accelerates.
+    EMPTY_TABLE_BYTE_LIMIT = 128 * 1024 * 1024
+
+    #: Histogram fast paths replay the scalar pipeline's float32 world
+    #: mean from exact integer counts; that replay is bit-exact only
+    #: while every count (bounded by ``R * n``) is exactly
+    #: representable in float32.  Past this, they fall back to the
+    #: scalar path.
+    FLOAT32_EXACT_LIMIT = 2**24
+
+    def _empty_state_table(self) -> Optional[np.ndarray]:
+        """Cumulative per-candidate time histogram, ``(C, k, 256)``.
+
+        ``table[c, g, cutoff]`` is the *exact* total (over worlds) of
+        nodes of group ``g`` that candidate ``c`` alone activates by
+        ``cutoff`` — the whole first greedy round at every deadline, as
+        integers.  Built once per ensemble from the distance store
+        (``None`` for backends that cannot afford it, e.g. lazy, or
+        when the table itself would exceed
+        :attr:`EMPTY_TABLE_BYTE_LIMIT`).
+        """
+        if self._empty_gain_table is None and not self._empty_gain_table_missing:
+            table_bytes = self.n_candidates * len(self.group_names) * 256 * 8
+            hist = (
+                None
+                if table_bytes > self.EMPTY_TABLE_BYTE_LIMIT
+                else self._backend.empty_state_histogram(
+                    self._group_index, len(self.group_names)
+                )
+            )
+            if hist is None:
+                self._empty_gain_table_missing = True
+            else:
+                self._empty_gain_table = np.cumsum(hist, axis=2)
+        return self._empty_gain_table
+
+    def candidate_group_utilities_batch(
+        self,
+        state: InfluenceState,
+        positions: Sequence[int],
+        deadline: float,
+        discount: Optional[float] = None,
+    ) -> np.ndarray:
+        """Group utilities of ``seeds(state) + {c}`` for a whole block.
+
+        Returns a ``(len(positions), k)`` float64 array whose row ``i``
+        is bit-identical to
+        ``candidate_group_utilities(state, positions[i], ...)``.
+
+        Two regimes, both exact:
+
+        - **empty state, step model** (every CELF / plain-greedy first
+          round): ``min(best, D_c) = D_c``, so answers come from the
+          cached state-independent histogram table — O(k) per
+          candidate, no tensor traffic at all.  Counts are exact
+          integers, and the float32 world-mean they imply is replayed
+          with the same rounding as the scalar path.
+        - **general**: one backend block fold + one stacked
+          ``(B, R, n) @ (n, k)`` ``np.matmul`` into reusable scratch.
+          The stacked matmul runs the very same GEMM per block row
+          that the scalar path runs per candidate (unlike
+          ``einsum``/``tensordot``, whose different reduction order
+          changes low bits), replacing ``B`` per-candidate allocations
+          and matmuls.
+        """
+        cutoff = _clip_deadline(deadline)
+        positions = np.asarray(positions, dtype=np.int64)
+        if positions.ndim != 1:
+            raise EstimationError(
+                f"positions must be one-dimensional, got shape {positions.shape}"
+            )
+        k = len(self.group_names)
+        if positions.size == 0:
+            return np.empty((0, k), dtype=np.float64)
+        if (positions < 0).any() or (positions >= self.n_candidates).any():
+            raise EstimationError(
+                f"candidate positions out of range [0, {self.n_candidates}): "
+                f"{positions[(positions < 0) | (positions >= self.n_candidates)]}"
+            )
+        if (
+            discount is None
+            and not state.seed_positions
+            and self.n_worlds * self.n < self.FLOAT32_EXACT_LIMIT
+        ):
+            table = self._empty_state_table()
+            if table is not None:
+                counts = table[positions, :, cutoff]  # (B, k) exact ints
+                # Replay the scalar pipeline's rounding: float32 world
+                # sums are exact here, and numpy's float32 mean divides
+                # in float64 before storing float32.
+                per_candidate = (
+                    counts.astype(np.float64) / self.n_worlds
+                ).astype(np.float32)
+                return per_candidate.astype(np.float64)
+        times, active, weights, per_world = self._batch_scratch(int(positions.size))
+        self._backend.min_with_block(state.best_time, positions, times)
+        self._activation_weights_into(times, cutoff, discount, active, weights)
+        np.matmul(weights, self._masks_f, out=per_world)  # (B, R, k)
+        return per_world.mean(axis=1).astype(np.float64)
+
+    def candidate_gains_batch(
+        self,
+        state: InfluenceState,
+        positions: Sequence[int],
+        deadline: float,
+        objective,
+        discount: Optional[float] = None,
+        base_value: Optional[float] = None,
+    ) -> np.ndarray:
+        """Marginal objective gains for a block of candidates.
+
+        ``objective`` is anything with a ``value(group_utilities)``
+        method (see :mod:`repro.core.objectives`); ``base_value`` is the
+        objective of the current state and is computed when not given
+        (pass it in hot loops — the greedy engines do).  Gains are
+        bit-identical to the scalar path
+        ``objective.value(candidate_group_utilities(...)) - base_value``.
+        """
+        utilities = self.candidate_group_utilities_batch(
+            state, positions, deadline, discount
+        )
+        if base_value is None:
+            base_value = objective.value(
+                self.group_utilities(state, deadline, discount)
+            )
+        return np.fromiter(
+            (objective.value(row) - base_value for row in utilities),
+            dtype=np.float64,
+            count=utilities.shape[0],
+        )
+
+    # ------------------------------------------------------------------
+    # deadline sweeps
+    # ------------------------------------------------------------------
+    def _state_time_histogram(self, state: InfluenceState) -> np.ndarray:
+        """Activation-time histogram of the current seed set, ``(k, 256)``.
+
+        ``hist[g, t]`` counts, summed over all worlds, the nodes of
+        group ``g`` activated at exactly time ``t``.  One
+        ``np.bincount`` over fused ``(group, time)`` codes of the
+        *finite* entries only — the ``UNREACHABLE`` sentinel rows that
+        dominate sparse states are skipped entirely, and the code space
+        is just ``k * 256`` (L1-resident counters).
+        """
+        n_groups = len(self.group_names)
+        if self._sweep_code_base is None:
+            self._sweep_code_base = self._group_index * 256  # (n,) int64
+        finite = state.best_time != UNREACHABLE
+        n_finite = np.count_nonzero(finite)
+        if 4 * n_finite < finite.size:
+            # Sparse activation (the common live-edge regime): extract
+            # the few finite entries and bincount only those.
+            idx = np.flatnonzero(finite.ravel())
+            codes = self._sweep_code_base[idx % self.n] + state.best_time.ravel()[idx]
+        else:
+            # Dense activation: a full-array bincount beats extraction.
+            # The UNREACHABLE entries land in each group's bin 255,
+            # which no cutoff ever reaches (cutoffs are <= 254).
+            codes = (self._sweep_code_base + state.best_time).ravel()
+        hist = np.bincount(codes, minlength=n_groups * 256)
+        return hist.reshape(n_groups, 256)
+
+    def group_utilities_sweep(
+        self,
+        state: InfluenceState,
+        deadlines: Sequence[float],
+        discount: Optional[float] = None,
+    ) -> np.ndarray:
+        """Group utilities of the current seed set at *every* deadline.
+
+        Returns a ``(len(deadlines), k)`` float64 array whose row ``i``
+        equals ``group_utilities(state, deadlines[i], discount)``.  The
+        activation times are bincounted into a per-group time histogram
+        once and every deadline is answered from its cumulative sum —
+        O(k) per additional ``tau`` instead of a full O(R·n·k)
+        re-derivation, which is what makes the paper's deadline-sweep
+        figures (4c / 5a / 7c) cheap.
+
+        Without ``discount`` the rows are *bit-identical* to the scalar
+        path: the counts are exact integers (exactly representable in
+        float32 while ``R * n < 2**24`` — past that the method falls
+        back to per-deadline scalar queries), and the scalar pipeline's
+        float32 world-mean is replayed with identical rounding.  With
+        ``discount`` the histogram weighting accumulates in float64 —
+        at least as accurate as the scalar float32 GEMM but not
+        bit-equal to it (the summation order differs); agreement is
+        within float32 rounding.
+        """
+        cutoffs = [_clip_deadline(deadline) for deadline in deadlines]
+        self._check_discount(discount)
+        k = len(self.group_names)
+        out = np.empty((len(cutoffs), k), dtype=np.float64)
+        if not cutoffs:
+            return out
+        if self.n_worlds * self.n >= self.FLOAT32_EXACT_LIMIT:
+            for i, deadline in enumerate(deadlines):
+                out[i] = self.group_utilities(state, deadline, discount)
+            return out
+        hist = self._state_time_histogram(state)
+        if discount is None:
+            cumulative = np.cumsum(hist, axis=1)  # (k, 256) exact ints
+            for i, cutoff in enumerate(cutoffs):
+                # Replay the scalar float32 mean (exact counts, float64
+                # division, float32 store) bit-for-bit.
+                out[i] = (
+                    (cumulative[:, cutoff].astype(np.float64) / self.n_worlds)
+                    .astype(np.float32)
+                    .astype(np.float64)
+                )
+            return out
+        powers = np.power(float(discount), np.arange(256, dtype=np.float64))
+        powers[UNREACHABLE] = 0.0  # the sentinel never counts
+        cumulative = np.cumsum(hist * powers, axis=1)  # (k, 256) float64
+        for i, cutoff in enumerate(cutoffs):
+            out[i] = cumulative[:, cutoff] / self.n_worlds
+        return out
+
     def total_utility(self, state: InfluenceState, deadline: float) -> float:
         """Expected activated-by-``deadline`` count over the whole population."""
         return float(self.group_utilities(state, deadline).sum())
@@ -284,11 +586,22 @@ class WorldEnsemble:
         return self.group_utilities(state, deadline) / self.group_sizes
 
     # ------------------------------------------------------------------
-    def standard_errors(self, state: InfluenceState, deadline: float) -> np.ndarray:
-        """Monte-Carlo standard error of each group-utility estimate."""
+    def standard_errors(
+        self,
+        state: InfluenceState,
+        deadline: float,
+        discount: Optional[float] = None,
+    ) -> np.ndarray:
+        """Monte-Carlo standard error of each group-utility estimate.
+
+        Shares :meth:`_activation_weights` with the utility queries, so
+        it scores exactly what they score — including the
+        ``discount=gamma`` extension, which the old step-model-only
+        formula silently ignored.
+        """
         cutoff = _clip_deadline(deadline)
-        active = (state.best_time <= cutoff).astype(np.float32)
-        per_world = active @ self._masks_f  # (R, k)
+        weights = self._activation_weights(state.best_time, cutoff, discount)
+        per_world = weights @ self._masks_f  # (R, k)
         return per_world.std(axis=0, ddof=1).astype(np.float64) / math.sqrt(
             self.n_worlds
         )
