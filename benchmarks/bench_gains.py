@@ -146,6 +146,98 @@ def test_block_size_sweep(ensemble):
     assert min(r["batch_s"] for r in rows) <= scalar_s
 
 
+def test_state_build_slab_vs_sequential(ensemble):
+    """Bulk seed-state construction: one ``reduce_rows`` call per state.
+
+    ``state_for`` now hands the whole seed set to the backend in one
+    call (a view-slab ``np.minimum.reduce`` for contiguous runs,
+    allocation-free row folds for scattered seeds, world-shardable
+    across workers) instead of issuing one ``add_seed`` per seed with
+    its per-seed bookkeeping; ``evaluate_at``, ``utilities_for`` and
+    the sweep helpers all rebuild states through it.  Measured on the
+    two rebuild workloads the figures run: a B=30 budget solution and
+    a cover solution (where the sequential path's quadratic
+    already-a-seed list scan starts to show).
+    """
+    budget_seeds = lazy_greedy(
+        ensemble, TotalInfluenceObjective(), DEFAULT_DEADLINE, 30
+    ).seeds
+    cover_seeds = solve_fair_tcim_cover(ensemble, 0.45, DEFAULT_DEADLINE).seeds
+
+    workloads = {}
+    for name, seeds in (("budget_b30", budget_seeds), ("cover", cover_seeds)):
+
+        def sequential_build():
+            state = ensemble.empty_state()
+            for node in seeds:
+                ensemble.add_seed(state, ensemble.position(node))
+            return state
+
+        def slab_build():
+            return ensemble.state_for(seeds)
+
+        np.testing.assert_array_equal(
+            slab_build().best_time, sequential_build().best_time
+        )
+        sequential_s = best_of(sequential_build)
+        slab_s = best_of(slab_build)
+        workloads[name] = {
+            "seed_set_size": len(seeds),
+            "sequential_s": round(sequential_s, 6),
+            "slab_s": round(slab_s, 6),
+            "speedup": round(sequential_s / slab_s, 2),
+        }
+        assert slab_s <= sequential_s * 1.5, (
+            f"{name}: slab state build slower than sequential folds: "
+            f"{slab_s:.4f}s vs {sequential_s:.4f}s"
+        )
+    record_bench("state_build", {"workloads": workloads})
+
+
+def test_incremental_sweep_histogram(ensemble):
+    """Growing-seed-set sweeps: incremental histogram vs full rebuilds.
+
+    The pattern of the iteration figures (sweep after every greedy
+    pick): with the state histogram maintained by ``add_seed``, only
+    the first sweep bincounts the full ``(R, n)`` state; every later
+    sweep is O(changed entries + k).  The rebuild baseline clears the
+    cached histogram before each sweep, which is exactly what the
+    pre-PR code did implicitly.
+    """
+    seeds = lazy_greedy(
+        ensemble, TotalInfluenceObjective(), DEFAULT_DEADLINE, 20
+    ).seeds
+    positions = [ensemble.position(node) for node in seeds]
+
+    def sweep_growing(incremental: bool):
+        state = ensemble.empty_state()
+        rows = []
+        for position in positions:
+            ensemble.add_seed(state, position)
+            if not incremental:
+                state.time_hist = None
+            rows.append(ensemble.group_utilities_sweep(state, DEADLINE_SWEEP))
+        return np.stack(rows)
+
+    np.testing.assert_array_equal(sweep_growing(True), sweep_growing(False))
+    rebuild_s = best_of(lambda: sweep_growing(False))
+    incremental_s = best_of(lambda: sweep_growing(True))
+    record_bench(
+        "incremental_sweep",
+        {
+            "seed_set_size": len(seeds),
+            "n_deadlines": len(DEADLINE_SWEEP),
+            "rebuild_s": round(rebuild_s, 6),
+            "incremental_s": round(incremental_s, 6),
+            "speedup": round(rebuild_s / incremental_s, 2),
+        },
+    )
+    assert incremental_s <= rebuild_s * 1.5, (
+        f"incremental sweep histogram slower than full rebuilds: "
+        f"{incremental_s:.4f}s vs {rebuild_s:.4f}s"
+    )
+
+
 def test_deadline_sweep_vs_per_tau(ensemble):
     """Fig 4c/5a/7c's evaluation pattern: many taus, one seed set.
 

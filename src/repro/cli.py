@@ -3,7 +3,7 @@
 Usage::
 
     python -m repro.cli list
-    python -m repro.cli run fig4a [--quick] [--seed N] [--backend auto|dense|sparse|lazy] [--block-size N]
+    python -m repro.cli run fig4a [--quick] [--seed N] [--backend auto|dense|sparse|lazy] [--block-size N] [--workers N|auto]
     python -m repro.cli run all [--quick]
 
 ``run`` prints the experiment's table, notes, and shape checks; the
@@ -18,9 +18,29 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.errors import EstimationError
 from repro.experiments.registry import list_experiments, run_experiment
 from repro.influence.backends import BACKEND_CHOICES
+from repro.influence.parallel import AUTO_WORKERS, check_workers, set_default_workers
 from repro.core.greedy import DEFAULT_BLOCK_SIZE, set_default_block_size
+
+
+def _workers_arg(value: str):
+    """``--workers`` values: whatever ``check_workers`` accepts.
+
+    One source of truth for the rules (positive int or ``"auto"``) —
+    only the error type is translated for argparse.
+    """
+    candidate: object = value
+    if value != AUTO_WORKERS:
+        try:
+            candidate = int(value)
+        except ValueError:
+            pass  # let check_workers produce the canonical message
+    try:
+        return check_workers(candidate)
+    except EstimationError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -64,6 +84,17 @@ def build_parser() -> argparse.ArgumentParser:
             "batching; results are identical at every block size)"
         ),
     )
+    run.add_argument(
+        "--workers",
+        type=_workers_arg,
+        default=AUTO_WORKERS,
+        metavar="N|auto",
+        help=(
+            "worker threads for world-sharded estimator evaluation "
+            "(default: auto = min(cpu count, n_worlds); 1 runs fully "
+            "serial; results are bit-identical at every worker count)"
+        ),
+    )
     return parser
 
 
@@ -77,6 +108,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.block_size is not None:
         set_default_block_size(args.block_size)
+    set_default_workers(args.workers)
     ids = list_experiments() if args.experiment == "all" else [args.experiment]
     failures = 0
     for experiment_id in ids:

@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence
 from repro.errors import OptimizationError
 from repro.graph.digraph import NodeId
 from repro.influence.backends import UtilityEstimator
+from repro.influence.parallel import WorkersLike
 from repro.influence.utility import UtilityReport, utility_report
 from repro.core.concave import ConcaveFunction, log1p
 from repro.core.greedy import SelectionTrace, lazy_greedy, plain_greedy
@@ -67,6 +68,7 @@ def _solve(
     method: str,
     discount: Optional[float] = None,
     block_size: Optional[int] = None,
+    workers: Optional[WorkersLike] = None,
 ) -> BudgetSolution:
     if budget < 1:
         raise OptimizationError(f"budget must be >= 1, got {budget}")
@@ -88,6 +90,7 @@ def _solve(
         max_seeds=budget,
         discount=discount,
         block_size=block_size,
+        workers=workers,
     )
     if trace.size == 0:
         raise OptimizationError(
@@ -126,6 +129,7 @@ def solve_tcim_budget(
     method: str = "celf",
     discount: Optional[float] = None,
     block_size: Optional[int] = None,
+    workers: Optional[WorkersLike] = None,
 ) -> BudgetSolution:
     """Solve P1: maximise total time-critical influence with ``|S| <= B``.
 
@@ -137,7 +141,8 @@ def solve_tcim_budget(
     worth ``gamma**t``) named in the paper's conclusions; the returned
     report still scores the seeds with the step utility so solutions
     remain comparable.  ``block_size`` tunes the batched gain oracle
-    (speed only — see :func:`repro.core.greedy.lazy_greedy`).
+    and ``workers`` its world-sharded thread pool (both speed only —
+    see :func:`repro.core.greedy.lazy_greedy`).
     """
     problem = "TCIM-BUDGET(P1)" if discount is None else f"TCIM-BUDGET(P1,gamma={discount:g})"
     return _solve(
@@ -149,6 +154,7 @@ def solve_tcim_budget(
         method=method,
         discount=discount,
         block_size=block_size,
+        workers=workers,
     )
 
 
@@ -161,6 +167,7 @@ def solve_fair_tcim_budget(
     method: str = "celf",
     discount: Optional[float] = None,
     block_size: Optional[int] = None,
+    workers: Optional[WorkersLike] = None,
 ) -> BudgetSolution:
     """Solve P4: maximise ``sum_i w_i H(f_tau(S; V_i, G))`` with ``|S| <= B``.
 
@@ -184,4 +191,5 @@ def solve_fair_tcim_budget(
         method=method,
         discount=discount,
         block_size=block_size,
+        workers=workers,
     )

@@ -26,6 +26,7 @@ import numpy as np
 from repro.errors import OptimizationError
 from repro.graph.digraph import NodeId
 from repro.influence.backends import UtilityEstimator
+from repro.influence.parallel import WorkersLike
 from repro.influence.utility import UtilityReport, utility_report
 from repro.core.greedy import SelectionTrace, lazy_greedy, plain_greedy
 from repro.core.objectives import TotalCoverageObjective, TruncatedCoverageObjective
@@ -106,6 +107,7 @@ def solve_tcim_cover(
     slack: float = DEFAULT_SLACK,
     method: str = "celf",
     block_size: Optional[int] = None,
+    workers: Optional[WorkersLike] = None,
 ) -> CoverSolution:
     """Solve P2: smallest greedy seed set with ``f_tau(S;V,G)/|V| >= Q``.
 
@@ -131,6 +133,7 @@ def solve_tcim_cover(
         stop=stop,
         require_stop=True,
         block_size=block_size,
+        workers=workers,
     )
     return _finalize("TCIM-COVER(P2)", ensemble, trace, deadline, quota)
 
@@ -143,6 +146,7 @@ def solve_fair_tcim_cover(
     slack: float = DEFAULT_SLACK,
     method: str = "celf",
     block_size: Optional[int] = None,
+    workers: Optional[WorkersLike] = None,
 ) -> CoverSolution:
     """Solve P6: smallest greedy seed set reaching quota ``Q`` in *every*
     group.
@@ -170,6 +174,7 @@ def solve_fair_tcim_cover(
         stop=stop,
         require_stop=True,
         block_size=block_size,
+        workers=workers,
     )
     return _finalize("FAIRTCIM-COVER(P6)", ensemble, trace, deadline, quota)
 

@@ -22,6 +22,13 @@ bit-identical to the scalar path, so traces are unchanged; estimators
 that do not implement it (feature-detected with ``getattr``) fall back
 to per-candidate queries automatically, as does ``block_size=1``.
 
+Both engines also take a ``workers=`` knob that pins the estimator's
+world-sharded thread pool for the duration of the solve (see
+:mod:`repro.influence.parallel`).  Like ``block_size``, it is purely a
+speed knob: the sharded folds and histogram sums are exact, so seed
+sets, gains, evaluation counts and stop reasons are bit-identical at
+every worker count — ``workers=1`` *is* the serial path.
+
 Tie-breaking is deterministic everywhere: equal gains resolve to the
 lowest candidate position, so runs are exactly reproducible.
 """
@@ -37,6 +44,7 @@ import numpy as np
 from repro.errors import InfeasibleError, OptimizationError
 from repro.graph.digraph import NodeId
 from repro.influence.backends import UtilityEstimator
+from repro.influence.parallel import WorkersLike, estimator_workers
 from repro.core.objectives import Objective
 
 #: Marginal gains below this are treated as zero (Monte Carlo noise floor).
@@ -173,6 +181,7 @@ def lazy_greedy(
     require_stop: bool = False,
     discount: Optional[float] = None,
     block_size: Optional[int] = None,
+    workers: Optional[WorkersLike] = None,
 ) -> SelectionTrace:
     """CELF lazy greedy maximisation.
 
@@ -204,11 +213,45 @@ def lazy_greedy(
         the CELF first round (``None`` — the process default, see
         :func:`set_default_block_size`; ``1`` — pure scalar path).
         Never changes the output, only the speed.
+    workers:
+        Worker-thread count for the estimator's world-sharded
+        evaluation, pinned for the duration of this solve (``None`` —
+        leave the estimator's own setting; ``"auto"`` —
+        ``min(available_cpus(), n_worlds)``).  Estimators without a
+        ``set_workers`` method ignore it.  Like ``block_size``, this
+        never changes the output: traces are bit-identical at every
+        worker count (the sharded folds are exact elementwise
+        operations and the one BLAS contraction is never split along
+        its reduction-order-sensitive axis — see
+        :mod:`repro.influence.parallel`).
 
     Returns the :class:`SelectionTrace`; ``trace.stopped_reason`` is one
     of ``"budget"``, ``"stop-condition"``, ``"no-gain"``,
     ``"exhausted"``.
     """
+    with estimator_workers(ensemble, workers):
+        return _lazy_greedy_impl(
+            ensemble,
+            objective,
+            deadline,
+            max_seeds,
+            stop,
+            require_stop,
+            discount,
+            block_size,
+        )
+
+
+def _lazy_greedy_impl(
+    ensemble: UtilityEstimator,
+    objective: Objective,
+    deadline: float,
+    max_seeds: int,
+    stop: Optional[StopCondition],
+    require_stop: bool,
+    discount: Optional[float],
+    block_size: Optional[int],
+) -> SelectionTrace:
     _check_arguments(ensemble, max_seeds)
     if block_size is None:
         block_size = _default_block_size
@@ -296,6 +339,7 @@ def plain_greedy(
     require_stop: bool = False,
     discount: Optional[float] = None,
     block_size: Optional[int] = None,
+    workers: Optional[WorkersLike] = None,
 ) -> SelectionTrace:
     """Reference greedy: every candidate re-evaluated every round.
 
@@ -303,8 +347,32 @@ def plain_greedy(
     quadratically more utility evaluations.  Kept as the test oracle
     and for the CELF ablation.  Every round's full re-evaluation runs
     through the batched gain oracle (see :func:`lazy_greedy`'s
-    ``block_size``), which is what keeps the oracle usable at all.
+    ``block_size`` and ``workers``), which is what keeps the oracle
+    usable at all.
     """
+    with estimator_workers(ensemble, workers):
+        return _plain_greedy_impl(
+            ensemble,
+            objective,
+            deadline,
+            max_seeds,
+            stop,
+            require_stop,
+            discount,
+            block_size,
+        )
+
+
+def _plain_greedy_impl(
+    ensemble: UtilityEstimator,
+    objective: Objective,
+    deadline: float,
+    max_seeds: int,
+    stop: Optional[StopCondition],
+    require_stop: bool,
+    discount: Optional[float],
+    block_size: Optional[int],
+) -> SelectionTrace:
     _check_arguments(ensemble, max_seeds)
     if block_size is None:
         block_size = _default_block_size

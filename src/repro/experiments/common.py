@@ -27,6 +27,7 @@ from repro.graph.digraph import DiGraph, NodeId
 from repro.graph.groups import GroupAssignment
 from repro.influence.backends import UtilityEstimator, check_backend_name
 from repro.influence.ensemble import InfluenceState, WorldEnsemble
+from repro.influence.parallel import WorkersLike
 from repro.core.budget import BudgetSolution, solve_fair_tcim_budget, solve_tcim_budget
 from repro.core.concave import ConcaveFunction, log1p, sqrt
 from repro.core.greedy import SelectionTrace
@@ -89,13 +90,17 @@ def build_ensemble(
     candidates: Optional[Sequence[NodeId]] = None,
     model: str = "ic",
     backend: Optional[str] = None,
+    workers: Optional[WorkersLike] = None,
 ) -> WorldEnsemble:
     """Single point of ensemble construction for every experiment.
 
     ``backend=None`` defers to the process default (see
-    :func:`set_default_backend`); any explicit name wins.  Backends
-    change memory/speed only — never the estimates — so figures are
-    identical under all of them.
+    :func:`set_default_backend`); any explicit name wins.  Likewise
+    ``workers=None`` defers to the process-wide worker count
+    (:func:`repro.influence.parallel.set_default_workers`, what the
+    CLI's ``--workers`` sets).  Backends and worker counts change
+    memory/speed only — never the estimates — so figures are identical
+    under all of them.
     """
     return WorldEnsemble(
         graph,
@@ -105,6 +110,7 @@ def build_ensemble(
         model=model,
         seed=seed,
         backend=backend or _default_backend,
+        workers=workers,
     )
 
 

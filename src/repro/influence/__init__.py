@@ -42,6 +42,14 @@ from repro.influence.backends import (
 )
 from repro.influence.deadlines import clip_deadline, simulation_horizon
 from repro.influence.ensemble import InfluenceState, WorldEnsemble
+from repro.influence.parallel import (
+    AUTO_WORKERS,
+    WorkerPool,
+    get_default_workers,
+    resolve_workers,
+    set_default_workers,
+    shard_slices,
+)
 from repro.influence.exact import exact_group_utilities, exact_utility
 from repro.influence.montecarlo import monte_carlo_group_utilities, monte_carlo_utility
 from repro.influence.rrsets import RRCollection, ris_greedy, sample_rr_sets
@@ -66,6 +74,12 @@ __all__ = [
     "check_backend_name",
     "make_backend",
     "select_backend",
+    "AUTO_WORKERS",
+    "WorkerPool",
+    "get_default_workers",
+    "resolve_workers",
+    "set_default_workers",
+    "shard_slices",
     "clip_deadline",
     "simulation_horizon",
     "exact_utility",

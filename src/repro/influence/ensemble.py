@@ -36,6 +36,16 @@ world ``r``), and
 and ``"auto"`` picks by estimated footprint.  All backends produce
 bit-identical utilities; they trade memory against query speed.
 
+*Where* the hot primitives run is delegated to a
+:class:`~repro.influence.parallel.WorkerPool` (``workers=``): worlds
+are i.i.d., so the block folds, weight fills, histogram bincounts and
+sparse BFS builds are sharded along the world axis across threads
+(numpy releases the GIL in all of them), while the one BLAS
+contraction is sharded along the candidate axis.  Worker counts change
+wall-clock time only — ``workers=1`` runs the serial path byte for
+byte, and ``workers>1`` is bit-identical to it (see
+:mod:`repro.influence.parallel` for the determinism contract).
+
 This estimator is unbiased for Eq. 1 for every ``tau``
 simultaneously, which is what lets one ensemble serve a whole
 deadline sweep (Fig. 4c / 5a / 7c).
@@ -44,6 +54,8 @@ deadline sweep (Fig. 4c / 5a / 7c).
 from __future__ import annotations
 
 import math
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence
 
@@ -59,6 +71,14 @@ from repro.influence.backends import (
     make_backend,
 )
 from repro.influence.deadlines import clip_deadline as _clip_deadline
+from repro.influence.parallel import (
+    WorkerPool,
+    WorkersLike,
+    check_workers,
+    effective_workers,
+    resolve_workers,
+    shard_slices,
+)
 from repro.rng import RngLike, ensure_rng
 
 
@@ -68,15 +88,25 @@ class InfluenceState:
 
     ``best_time[r, v]`` is the earliest activation time of node ``v``
     in world ``r`` under the current seeds (``UNREACHABLE`` if none).
+
+    ``time_hist`` is the state's per-group activation-time histogram
+    (``(k, 256)`` int64, finite times only), lazily built by the first
+    deadline sweep and thereafter maintained *incrementally* by
+    ``WorldEnsemble.add_seed`` — so repeated sweeps on a growing seed
+    set never rebuild it from the full ``(R, n)`` tensor.  ``None``
+    until a sweep asks for it; states that never sweep never pay for
+    it.
     """
 
     best_time: np.ndarray
     seed_positions: List[int] = field(default_factory=list)
+    time_hist: Optional[np.ndarray] = None
 
     def copy(self) -> "InfluenceState":
         return InfluenceState(
             best_time=self.best_time.copy(),
             seed_positions=list(self.seed_positions),
+            time_hist=None if self.time_hist is None else self.time_hist.copy(),
         )
 
     @property
@@ -113,6 +143,14 @@ class WorldEnsemble:
         Extra keyword arguments for the backend constructor (e.g.
         ``{"cache_size": 128}`` for ``"lazy"``, ``{"dense_limit": ...}``
         for ``"auto"``).
+    workers:
+        Worker-thread count for world-sharded evaluation: a positive
+        int, ``"auto"`` (= ``min(available_cpus(), n_worlds)``), or
+        ``None`` to defer to the process default
+        (:func:`repro.influence.parallel.set_default_workers`, itself
+        ``1`` unless the CLI's ``--workers`` or ``REPRO_WORKERS`` set
+        it).  Affects wall-clock time only: every estimate, trace and
+        sweep is bit-identical at every worker count.
     """
 
     def __init__(
@@ -125,10 +163,17 @@ class WorldEnsemble:
         seed: RngLike = None,
         backend: str = "dense",
         backend_options: Optional[Dict[str, Any]] = None,
+        workers: Optional[WorkersLike] = None,
     ) -> None:
         if n_worlds < 1:
             raise EstimationError(f"n_worlds must be >= 1, got {n_worlds}")
         check_backend_name(backend)  # fail fast, before world sampling
+        self._workers_setting = check_workers(workers, allow_none=True)
+        # Per-thread pin stack for the solvers' workers= knob: each
+        # solving thread sees its own pin, so concurrent solves on one
+        # shared ensemble never race on (or leak into) the persistent
+        # setting above.
+        self._workers_pins = threading.local()
         assignment.validate_for(graph)
         self.graph = graph
         self.assignment = assignment
@@ -155,8 +200,14 @@ class WorldEnsemble:
             graph, n_worlds, model=model, seed=rng
         )
         # Activation-time store D[r, c, v] behind the backend interface.
+        # The pool shards the sparse backend's per-world BFS builds.
         self._backend = make_backend(
-            backend, self.worlds, self._candidate_indices, self.n, backend_options
+            backend,
+            self.worlds,
+            self._candidate_indices,
+            self.n,
+            backend_options,
+            pool=self._pool(),
         )
         # Group masks as float32 (k, n) for fast masked counting, plus
         # group sizes for normalisation.
@@ -169,18 +220,19 @@ class WorldEnsemble:
         # node (used by the deadline-sweep histogram).
         self._group_index = self._masks_bool.argmax(axis=0).astype(np.int64)
         # Reusable scratch for the batched gain oracle, grown on demand
-        # to the largest block ever requested (see ``_batch_scratch``).
-        self._scratch_times: Optional[np.ndarray] = None  # (B, R, n) uint8
-        self._scratch_active: Optional[np.ndarray] = None  # (B, R, n) bool
-        self._scratch_weights: Optional[np.ndarray] = None  # (B, R, n) float32
-        self._scratch_per_world: Optional[np.ndarray] = None  # (B, R, k) float32
+        # to the largest block ever requested and keyed per *caller
+        # thread* (see ``_batch_scratch``) — concurrent batched queries
+        # on one shared ensemble each get their own buffers.
+        self._scratch = threading.local()
         # Lazily built caches: the state-independent empty-state gain
         # table (cumulative per-candidate time histogram — answers any
         # first greedy round at any deadline) and the fused
-        # (world, group) code base for sweep histograms.
+        # (world, group) code base for sweep histograms.  The lock
+        # keeps concurrent callers from building the table twice.
         self._empty_gain_table: Optional[np.ndarray] = None  # (C, k, 256) cumsum
         self._empty_gain_table_missing = False
-        self._sweep_code_base: Optional[np.ndarray] = None  # (R, n) int64
+        self._empty_table_lock = threading.Lock()
+        self._sweep_code_base: Optional[np.ndarray] = None  # (n,) int64
 
     # ------------------------------------------------------------------
     # candidate bookkeeping
@@ -195,6 +247,71 @@ class WorldEnsemble:
     def backend_name(self) -> str:
         """Name of the active distance backend (after ``"auto"`` resolution)."""
         return self._backend.name
+
+    @property
+    def workers(self) -> int:
+        """Concrete worker count for this ensemble's sharded evaluation.
+
+        Resolved at query time — the calling thread's pin
+        (:meth:`pinned_workers`) if one is active, else the ensemble's
+        own setting, else the process default — so a later
+        :func:`repro.influence.parallel.set_default_workers` (e.g. the
+        CLI's ``--workers``) applies to already-built ensembles too.
+        """
+        pins = getattr(self._workers_pins, "stack", None)
+        if pins:
+            return resolve_workers(pins[-1], self.n_worlds)
+        return resolve_workers(self._workers_setting, self.n_worlds)
+
+    def set_workers(
+        self, workers: Optional[WorkersLike]
+    ) -> Optional[WorkersLike]:
+        """Set this ensemble's worker setting; returns the previous one.
+
+        ``None`` defers to the process default again.  This is the
+        *persistent* knob and is not synchronised — configure it from
+        one thread; for a per-solve override use :meth:`pinned_workers`
+        (what the greedy engines' ``workers=`` knob routes through),
+        which is safe under concurrent solves.
+        """
+        previous = self._workers_setting
+        self._workers_setting = check_workers(workers, allow_none=True)
+        return previous
+
+    @contextmanager
+    def pinned_workers(self, workers: Optional[WorkersLike]):
+        """Pin the *calling thread's* worker count for a code block.
+
+        ``None`` is a no-op.  Pins are thread-local and stack, so
+        concurrent solves on one shared ensemble each see their own
+        worker count and the persistent :meth:`set_workers` setting is
+        never touched (or leaked) by a solve.
+        """
+        if workers is None:
+            yield
+            return
+        check_workers(workers)
+        stack = getattr(self._workers_pins, "stack", None)
+        if stack is None:
+            stack = self._workers_pins.stack = []
+        stack.append(workers)
+        try:
+            yield
+        finally:
+            stack.pop()
+
+    def _pool(self, n_items: Optional[int] = None) -> WorkerPool:
+        """Pool sized to the worker setting, gated by workload size.
+
+        ``n_items`` is the elementwise work of the operation about to
+        run; operations too small to amortise a thread handoff (see
+        :func:`repro.influence.parallel.effective_workers`) get a
+        serial pool.  Gating never changes results, only dispatch.
+        """
+        workers = self.workers
+        if n_items is not None:
+            workers = effective_workers(workers, n_items)
+        return WorkerPool(workers)
 
     @property
     def n_candidates(self) -> int:
@@ -220,20 +337,89 @@ class WorldEnsemble:
         )
 
     def state_for(self, seeds: Iterable[NodeId]) -> InfluenceState:
-        """State of an arbitrary seed set (each seed must be a candidate)."""
-        state = self.empty_state()
+        """State of an arbitrary seed set (each seed must be a candidate).
+
+        Built as one slab fold (``DistanceBackend.reduce_rows``) over
+        all seed rows — world-sharded across the worker pool — instead
+        of the old one-:meth:`add_seed`-per-seed chain.  ``uint8``
+        minimum is exact, so the state is bit-identical to the
+        sequential build; ``evaluate_at`` / :meth:`utilities_for` /
+        the sweep helpers all sit on this.
+        """
+        positions: List[int] = []
+        seen = set()
         for node in seeds:
-            self.add_seed(state, self.position(node))
+            position = self.position(node)
+            if position in seen:
+                raise EstimationError(
+                    f"candidate {self.label(position)!r} is already a seed"
+                )
+            seen.add(position)
+            positions.append(position)
+        state = self.empty_state()
+        if not positions:
+            return state
+        pool = self._pool(len(positions) * self.n_worlds * self.n)
+        if pool.workers > 1 and self._backend.can_shard_block(positions):
+            pos_arr = np.asarray(positions, dtype=np.int64)
+            self._backend.prefetch(pos_arr, pool)
+            pool.run(
+                lambda span: self._backend.reduce_rows(
+                    pos_arr, state.best_time, world_slice=span
+                ),
+                pool.world_shards(self.n_worlds),
+            )
+        else:
+            self._backend.reduce_rows(positions, state.best_time)
+        state.seed_positions.extend(positions)
         return state
 
     def add_seed(self, state: InfluenceState, position: int) -> None:
-        """Mutate ``state`` to include candidate ``position`` as a seed."""
+        """Mutate ``state`` to include candidate ``position`` as a seed.
+
+        When the state already carries a sweep histogram (built by the
+        first ``group_utilities_sweep`` on it), the histogram is
+        updated *incrementally* from exactly the entries the fold
+        lowered — integer moves between bins, bit-identical to a full
+        rebuild — so sweep → add seed → sweep loops never re-bincount
+        the whole ``(R, n)`` state.
+        """
         if position in state.seed_positions:
             raise EstimationError(
                 f"candidate {self.label(position)!r} is already a seed"
             )
-        self._backend.min_into(state.best_time, position)
+        if state.time_hist is None:
+            self._backend.min_into(state.best_time, position)
+        else:
+            previous = state.best_time.copy()
+            self._backend.min_into(state.best_time, position)
+            self._update_time_hist(state.time_hist, previous, state.best_time)
         state.seed_positions.append(position)
+
+    def _update_time_hist(
+        self, hist: np.ndarray, previous: np.ndarray, current: np.ndarray
+    ) -> None:
+        """Move histogram counts for every entry the fold lowered.
+
+        ``current < previous`` exactly where the new seed improved an
+        activation time; the old (finite) time's bin loses the node
+        and the new time's bin gains it.  Newly reached nodes come out
+        of nowhere — the histogram counts finite times only (its
+        ``UNREACHABLE`` bin is pinned to zero and never read).
+        """
+        changed = current < previous
+        if not changed.any():
+            return
+        _, v_idx = np.nonzero(changed)
+        groups = self._group_index[v_idx]
+        size = hist.size
+        new_codes = groups * 256 + current[changed]
+        hist += np.bincount(new_codes, minlength=size).reshape(hist.shape)
+        old_times = previous[changed]
+        finite = old_times != UNREACHABLE
+        if finite.any():
+            old_codes = groups[finite] * 256 + old_times[finite]
+            hist -= np.bincount(old_codes, minlength=size).reshape(hist.shape)
 
     def seeds_of(self, state: InfluenceState) -> List[NodeId]:
         return [self.candidate_labels[p] for p in state.seed_positions]
@@ -333,21 +519,27 @@ class WorldEnsemble:
         The buffers persist across calls (CELF's first round issues
         ``n_candidates / block_size`` of them), so steady-state batched
         queries allocate nothing beyond the tiny per-block outputs.
-        Not thread-safe: one in-flight batched query per ensemble.
+        Buffers are keyed per *caller thread* (``threading.local``), so
+        any number of concurrent batched queries can share one
+        ensemble without corrupting each other; the worker pool's
+        shard threads never allocate scratch — they receive disjoint
+        world-slice views of the caller's buffers.
         """
-        if self._scratch_times is None or self._scratch_times.shape[0] < block:
+        local = self._scratch
+        times = getattr(local, "times", None)
+        if times is None or times.shape[0] < block:
             shape = (block, self.n_worlds, self.n)
-            self._scratch_times = np.empty(shape, dtype=np.uint8)
-            self._scratch_active = np.empty(shape, dtype=bool)
-            self._scratch_weights = np.empty(shape, dtype=np.float32)
-            self._scratch_per_world = np.empty(
+            local.times = np.empty(shape, dtype=np.uint8)
+            local.active = np.empty(shape, dtype=bool)
+            local.weights = np.empty(shape, dtype=np.float32)
+            local.per_world = np.empty(
                 (block, self.n_worlds, len(self.group_names)), dtype=np.float32
             )
         return (
-            self._scratch_times[:block],
-            self._scratch_active[:block],
-            self._scratch_weights[:block],
-            self._scratch_per_world[:block],
+            local.times[:block],
+            local.active[:block],
+            local.weights[:block],
+            local.per_world[:block],
         )
 
     #: The empty-state gain table is skipped beyond this footprint —
@@ -375,19 +567,46 @@ class WorldEnsemble:
         :attr:`EMPTY_TABLE_BYTE_LIMIT`).
         """
         if self._empty_gain_table is None and not self._empty_gain_table_missing:
-            table_bytes = self.n_candidates * len(self.group_names) * 256 * 8
-            hist = (
-                None
-                if table_bytes > self.EMPTY_TABLE_BYTE_LIMIT
-                else self._backend.empty_state_histogram(
-                    self._group_index, len(self.group_names)
-                )
-            )
-            if hist is None:
-                self._empty_gain_table_missing = True
-            else:
-                self._empty_gain_table = np.cumsum(hist, axis=2)
+            with self._empty_table_lock:
+                if (
+                    self._empty_gain_table is None
+                    and not self._empty_gain_table_missing
+                ):
+                    table_bytes = self.n_candidates * len(self.group_names) * 256 * 8
+                    hist = (
+                        None
+                        if table_bytes > self.EMPTY_TABLE_BYTE_LIMIT
+                        else self._empty_state_histogram()
+                    )
+                    if hist is None:
+                        self._empty_gain_table_missing = True
+                    else:
+                        self._empty_gain_table = np.cumsum(hist, axis=2)
         return self._empty_gain_table
+
+    def _empty_state_histogram(self) -> Optional[np.ndarray]:
+        """Backend empty-state histogram, world-sharded across the pool.
+
+        Per-shard histograms are exact integer counts summed in shard
+        order, so the table is identical at any worker count.
+        """
+        n_groups = len(self.group_names)
+        pool = self._pool(self.n_candidates * self.n_worlds * self.n)
+        shards = pool.world_shards(self.n_worlds)
+        if len(shards) <= 1:
+            return self._backend.empty_state_histogram(self._group_index, n_groups)
+        parts = pool.run(
+            lambda span: self._backend.empty_state_histogram(
+                self._group_index, n_groups, world_slice=span
+            ),
+            shards,
+        )
+        if any(part is None for part in parts):
+            return None
+        total = parts[0]
+        for part in parts[1:]:
+            total += part
+        return total
 
     def candidate_group_utilities_batch(
         self,
@@ -417,6 +636,15 @@ class WorldEnsemble:
           ``einsum``/``tensordot``, whose different reduction order
           changes low bits), replacing ``B`` per-candidate allocations
           and matmuls.
+
+        With ``workers > 1`` the general path runs world-sharded: each
+        worker folds and weights a contiguous world slice of the
+        shared scratch (elementwise — exact under any partition), the
+        GEMM is then sharded along the *candidate* axis (numpy's 3-d
+        ``matmul`` is one independent GEMM per stack item, so a
+        stack-axis slice issues the very same per-candidate GEMMs the
+        serial path issues), and the world-mean runs un-sharded on the
+        caller thread.  Bit-identical at every worker count.
         """
         cutoff = _clip_deadline(deadline)
         positions = np.asarray(positions, dtype=np.int64)
@@ -448,9 +676,29 @@ class WorldEnsemble:
                 ).astype(np.float32)
                 return per_candidate.astype(np.float64)
         times, active, weights, per_world = self._batch_scratch(int(positions.size))
-        self._backend.min_with_block(state.best_time, positions, times)
-        self._activation_weights_into(times, cutoff, discount, active, weights)
-        np.matmul(weights, self._masks_f, out=per_world)  # (B, R, k)
+        pool = self._pool(int(positions.size) * self.n_worlds * self.n)
+        shards = pool.world_shards(self.n_worlds)
+        if len(shards) > 1 and self._backend.can_shard_block(positions):
+            self._backend.prefetch(positions, pool)
+
+            def fold(span: slice) -> None:
+                self._backend.min_with_block(
+                    state.best_time, positions, times, world_slice=span
+                )
+                self._activation_weights_into(
+                    times[:, span], cutoff, discount, active[:, span], weights[:, span]
+                )
+
+            pool.run(fold, shards)
+
+            def contract(span: slice) -> None:
+                np.matmul(weights[span], self._masks_f, out=per_world[span])
+
+            pool.run(contract, shard_slices(int(positions.size), pool.workers))
+        else:
+            self._backend.min_with_block(state.best_time, positions, times)
+            self._activation_weights_into(times, cutoff, discount, active, weights)
+            np.matmul(weights, self._masks_f, out=per_world)  # (B, R, k)
         return per_world.mean(axis=1).astype(np.float64)
 
     def candidate_gains_batch(
@@ -487,33 +735,57 @@ class WorldEnsemble:
     # ------------------------------------------------------------------
     # deadline sweeps
     # ------------------------------------------------------------------
-    def _state_time_histogram(self, state: InfluenceState) -> np.ndarray:
-        """Activation-time histogram of the current seed set, ``(k, 256)``.
-
-        ``hist[g, t]`` counts, summed over all worlds, the nodes of
-        group ``g`` activated at exactly time ``t``.  One
-        ``np.bincount`` over fused ``(group, time)`` codes of the
-        *finite* entries only — the ``UNREACHABLE`` sentinel rows that
-        dominate sparse states are skipped entirely, and the code space
-        is just ``k * 256`` (L1-resident counters).
-        """
+    def _hist_shard(self, best_time: np.ndarray, span: slice) -> np.ndarray:
+        """Activation-time histogram of one contiguous world shard."""
         n_groups = len(self.group_names)
-        if self._sweep_code_base is None:
-            self._sweep_code_base = self._group_index * 256  # (n,) int64
-        finite = state.best_time != UNREACHABLE
+        block = best_time[span]
+        finite = block != UNREACHABLE
         n_finite = np.count_nonzero(finite)
         if 4 * n_finite < finite.size:
             # Sparse activation (the common live-edge regime): extract
             # the few finite entries and bincount only those.
             idx = np.flatnonzero(finite.ravel())
-            codes = self._sweep_code_base[idx % self.n] + state.best_time.ravel()[idx]
+            codes = self._sweep_code_base[idx % self.n] + block.ravel()[idx]
         else:
             # Dense activation: a full-array bincount beats extraction.
             # The UNREACHABLE entries land in each group's bin 255,
-            # which no cutoff ever reaches (cutoffs are <= 254).
-            codes = (self._sweep_code_base + state.best_time).ravel()
+            # which the caller zeroes (no cutoff ever reaches it —
+            # cutoffs are <= 254).
+            codes = (self._sweep_code_base + block).ravel()
         hist = np.bincount(codes, minlength=n_groups * 256)
         return hist.reshape(n_groups, 256)
+
+    def _state_time_histogram(self, state: InfluenceState) -> np.ndarray:
+        """Activation-time histogram of the current seed set, ``(k, 256)``.
+
+        ``hist[g, t]`` counts, summed over all worlds, the nodes of
+        group ``g`` activated at exactly time ``t`` (finite times only;
+        the ``UNREACHABLE`` bin is pinned to zero).  Per world shard
+        it's one ``np.bincount`` over fused ``(group, time)`` codes —
+        the code space is just ``k * 256`` (L1-resident counters) —
+        with shard histograms summed in shard order (exact integers).
+        The result is cached on the state and maintained incrementally
+        by :meth:`add_seed`, so only the *first* sweep of a state pays
+        for the full bincount.
+        """
+        if state.time_hist is not None:
+            return state.time_hist
+        if self._sweep_code_base is None:
+            self._sweep_code_base = self._group_index * 256  # (n,) int64
+        pool = self._pool(state.best_time.size)
+        shards = pool.world_shards(self.n_worlds)
+        if len(shards) > 1:
+            parts = pool.run(
+                lambda span: self._hist_shard(state.best_time, span), shards
+            )
+            hist = parts[0]
+            for part in parts[1:]:
+                hist += part
+        else:
+            hist = self._hist_shard(state.best_time, slice(None))
+        hist[:, UNREACHABLE] = 0
+        state.time_hist = hist
+        return hist
 
     def group_utilities_sweep(
         self,

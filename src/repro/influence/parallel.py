@@ -1,0 +1,258 @@
+"""Threaded world-sharding execution layer for the estimator hot paths.
+
+The ``(R, n)`` world ensemble is embarrassingly parallel along the
+world axis: worlds are i.i.d. samples, and every hot primitive the
+batched gain oracle runs — ``uint8`` minimum folds, activation-weight
+fills, ``bincount`` histograms, per-world BFS materialisation — is an
+elementwise or integer operation on disjoint world slices that numpy
+executes with the GIL released.  :class:`WorkerPool` splits the world
+axis into contiguous shards and runs per-shard closures on a shared
+:class:`~concurrent.futures.ThreadPoolExecutor`; the ensemble then
+reduces the partials in a *fixed* order.
+
+Determinism contract
+--------------------
+Sharding never changes a single bit of any estimate:
+
+- the ``uint8`` folds, boolean cutoff masks, weight fills and integer
+  histogram sums are exact elementwise/associative operations, so any
+  world partition reproduces the serial result;
+- the one floating-point reduction BLAS owns — the stacked
+  ``(B, R, n) @ (n, k)`` contraction — is *never* split along the
+  world axis (OpenBLAS picks different kernels for different ``M`` and
+  changes low bits).  It is split along the **candidate** axis
+  instead: numpy's 3-d ``matmul`` issues one independent GEMM per
+  stack item, so a stack-axis slice runs the very same per-candidate
+  GEMM calls the serial path runs;
+- the final world-mean runs un-sharded on the caller thread over the
+  fully assembled per-world buffer.
+
+Hence ``workers=1`` byte-matches the pre-threading serial path, and
+``workers>1`` is bit-identical to ``workers=1`` — seed sets, traces,
+stop reasons and sweep columns never depend on the worker count
+(enforced by ``tests/test_gains_equivalence.py``).
+
+The worker count is chosen per ensemble (``WorldEnsemble(workers=)``),
+per solve (``lazy_greedy(..., workers=)``), or process-wide
+(:func:`set_default_workers`, the CLI's ``--workers`` flag);
+``"auto"`` resolves to ``min(available_cpus(), n_worlds)``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.errors import EstimationError
+
+#: Sentinel worker count: resolve to ``min(available_cpus(), n_worlds)``.
+AUTO_WORKERS = "auto"
+
+#: A worker setting as users write it: a positive int or ``"auto"``.
+WorkersLike = Union[int, str]
+
+_default_workers: WorkersLike = 1
+_executor_lock = threading.Lock()
+#: Shared executors keyed by size — created once, reused by every pool
+#: of that size, never torn down (idle threads are effectively free,
+#: and only a handful of distinct sizes ever get requested).
+_executors: Dict[int, ThreadPoolExecutor] = {}
+
+
+def check_workers(
+    workers: Optional[WorkersLike], allow_none: bool = False
+) -> Optional[WorkersLike]:
+    """Validate a worker setting (``int >= 1`` or ``"auto"``) and return it."""
+    if workers is None:
+        if allow_none:
+            return None
+        raise EstimationError("workers must be a positive int or 'auto', got None")
+    if workers == AUTO_WORKERS:
+        return AUTO_WORKERS
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise EstimationError(
+            f"workers must be a positive int or 'auto', got {workers!r}"
+        )
+    if workers < 1:
+        raise EstimationError(f"workers must be >= 1, got {workers}")
+    return int(workers)
+
+
+def set_default_workers(workers: WorkersLike) -> None:
+    """Set the process-wide worker count for world-sharded evaluation.
+
+    ``1`` (the library default) keeps every query on the caller thread
+    — the pre-threading serial path, byte for byte.  The CLI's
+    ``--workers`` flag and the ``REPRO_WORKERS`` test-suite variable
+    land here.  Worker counts change wall-clock time only, never any
+    estimate (see the module docstring's determinism contract).
+    """
+    global _default_workers
+    _default_workers = check_workers(workers)
+
+
+def get_default_workers() -> WorkersLike:
+    """The worker setting used when an ensemble is not given one."""
+    return _default_workers
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    Respects CPU affinity masks and (via them) container/cgroup
+    limits where the platform exposes them — ``os.cpu_count()`` would
+    report the whole host and oversubscribe a pinned container.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # platforms without sched_getaffinity
+        return os.cpu_count() or 1
+
+
+def resolve_workers(workers: Optional[WorkersLike], n_worlds: int) -> int:
+    """Concrete worker count for an ``n_worlds``-world ensemble.
+
+    ``None`` defers to :func:`get_default_workers`; ``"auto"`` becomes
+    ``min(available_cpus(), n_worlds)``; explicit counts are capped at
+    ``n_worlds`` (a shard needs at least one world).
+    """
+    if workers is None:
+        workers = get_default_workers()
+    workers = check_workers(workers)
+    if workers == AUTO_WORKERS:
+        workers = available_cpus()
+    return max(1, min(int(workers), max(1, int(n_worlds))))
+
+
+#: Minimum elementwise items (array entries touched) per worker before
+#: sharding is worth a thread handoff: executor dispatch costs on the
+#: order of 0.1 ms while the uint8 folds and bincounts chew through
+#: memory at GB/s, so anything under ~half a MiB of work per worker
+#: runs faster inline.  Callers size their pools with
+#: :func:`effective_workers`; gating changes dispatch only — results
+#: are bit-identical either way.
+MIN_SHARD_ITEMS = 1 << 19
+
+
+def effective_workers(workers: int, n_items: int) -> int:
+    """Cap ``workers`` so every shard gets ``MIN_SHARD_ITEMS`` of work.
+
+    ``n_items`` is the elementwise work of the whole operation (e.g.
+    ``B * R * n`` for a block fold).  Keeps ``workers=auto`` safe to
+    leave on everywhere: tiny operations stay inline instead of paying
+    more in thread handoff than the work itself costs.
+    """
+    if workers <= 1:
+        return 1
+    return max(1, min(int(workers), int(n_items // MIN_SHARD_ITEMS)))
+
+
+def shard_slices(n_items: int, n_shards: int) -> List[slice]:
+    """Split ``range(n_items)`` into ``<= n_shards`` contiguous slices.
+
+    Balanced to within one item, deterministic, and empty-free — the
+    partition depends only on the two arguments, so a fixed-order
+    reduction over the shards is reproducible run to run.
+    """
+    n_items = int(n_items)
+    n_shards = max(1, min(int(n_shards), n_items)) if n_items else 1
+    base, extra = divmod(n_items, n_shards)
+    slices = []
+    start = 0
+    for i in range(n_shards):
+        stop = start + base + (1 if i < extra else 0)
+        if stop > start:
+            slices.append(slice(start, stop))
+        start = stop
+    return slices or [slice(0, 0)]
+
+
+def _executor_for(workers: int) -> ThreadPoolExecutor:
+    with _executor_lock:
+        executor = _executors.get(workers)
+        if executor is None:
+            executor = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix=f"repro-{workers}w"
+            )
+            _executors[workers] = executor
+        return executor
+
+
+class WorkerPool:
+    """Runs per-shard closures on the shared executor of its size.
+
+    The pool object itself is throwaway-cheap (it holds one int); the
+    executor behind it is shared process-wide.  ``workers=1`` runs
+    everything inline on the caller thread — no executor, no handoff —
+    which is what makes ``workers=1`` byte-identical to the
+    pre-threading code path by construction.
+
+    Shard closures must touch disjoint output slices (the callers in
+    :mod:`repro.influence.ensemble` pass each worker a disjoint
+    world-slice view of a shared scratch buffer) and must not submit
+    work back into the pool (nested submission from a worker thread
+    could exhaust the executor and deadlock).
+    """
+
+    __slots__ = ("workers",)
+
+    def __init__(self, workers: int) -> None:
+        self.workers = max(1, int(workers))
+
+    def world_shards(self, n_worlds: int) -> List[slice]:
+        """Contiguous world shards for this pool's width."""
+        return shard_slices(n_worlds, self.workers)
+
+    def run(self, fn: Callable[[slice], Any], shards: Sequence[slice]) -> List[Any]:
+        """``[fn(shard) for shard in shards]``, threaded; ordered results.
+
+        Results come back in shard order regardless of completion
+        order, so reductions over them are order-fixed.  Exceptions
+        propagate to the caller.
+        """
+        if self.workers <= 1 or len(shards) <= 1:
+            return [fn(shard) for shard in shards]
+        executor = _executor_for(self.workers)
+        futures = [executor.submit(fn, shard) for shard in shards]
+        return [future.result() for future in futures]
+
+
+@contextmanager
+def estimator_workers(
+    estimator: Any, workers: Optional[WorkersLike]
+) -> Iterator[None]:
+    """Temporarily pin an estimator's worker setting (restores on exit).
+
+    The greedy engines route their ``workers=`` knob through this:
+    ``None`` means "leave the estimator's own setting alone", and
+    estimators without the knob (feature-detected, like the batch
+    oracle) are left untouched — a plain
+    :class:`~repro.influence.backends.UtilityEstimator` still plugs in.
+
+    Estimators exposing a ``pinned_workers`` contextmanager (the
+    :class:`~repro.influence.ensemble.WorldEnsemble` does) get a
+    *thread-local* pin, safe under concurrent solves on one shared
+    estimator; a plain ``set_workers`` setter is used as the fallback
+    (swap-and-restore, not concurrency-safe — fine for the common
+    one-solve-at-a-time case).
+    """
+    if workers is None:
+        yield
+        return
+    pin = getattr(estimator, "pinned_workers", None)
+    if pin is not None:
+        with pin(workers):
+            yield
+        return
+    setter = getattr(estimator, "set_workers", None)
+    if setter is None:
+        yield
+        return
+    previous = setter(workers)
+    try:
+        yield
+    finally:
+        setter(previous)

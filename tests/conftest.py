@@ -1,11 +1,28 @@
-"""Shared fixtures: small deterministic graphs used across the suite."""
+"""Shared fixtures: small deterministic graphs used across the suite.
+
+Setting ``REPRO_WORKERS`` (a positive int or ``auto``) runs the whole
+suite with that process-wide worker count for world-sharded estimator
+evaluation — CI uses it to exercise every tier-1 test threaded.  The
+results must not change: worker counts are a pure speed knob (see
+:mod:`repro.influence.parallel`), so the suite passing identically
+under ``REPRO_WORKERS=2`` is itself a determinism check.
+"""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro.graph.digraph import DiGraph
 from repro.graph.groups import GroupAssignment
+from repro.influence.parallel import set_default_workers
+
+_workers_env = os.environ.get("REPRO_WORKERS")
+if _workers_env:
+    set_default_workers(
+        _workers_env if _workers_env == "auto" else int(_workers_env)
+    )
 
 
 @pytest.fixture

@@ -74,6 +74,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "fig1", "--backend", "tensorflow"])
 
+    def test_workers_flag(self):
+        assert build_parser().parse_args(["run", "fig1"]).workers == "auto"
+        args = build_parser().parse_args(["run", "fig1", "--workers", "4"])
+        assert args.workers == 4
+        args = build_parser().parse_args(["run", "fig1", "--workers", "auto"])
+        assert args.workers == "auto"
+
+    def test_bad_workers_rejected(self):
+        for bad in ("fast", "0", "-2"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["run", "fig1", "--workers", bad])
+
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])

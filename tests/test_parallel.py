@@ -1,0 +1,200 @@
+"""Unit tests for the world-sharding execution layer.
+
+The equivalence suite (``test_gains_equivalence.py``) proves the
+end-to-end determinism contract; this file covers the layer's own
+mechanics — shard partitioning, worker resolution, pool execution
+semantics, and the solver-facing ``workers`` plumbing.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import EstimationError
+from repro.influence.parallel import (
+    AUTO_WORKERS,
+    MIN_SHARD_ITEMS,
+    WorkerPool,
+    check_workers,
+    effective_workers,
+    estimator_workers,
+    get_default_workers,
+    resolve_workers,
+    set_default_workers,
+    shard_slices,
+)
+
+
+class TestShardSlices:
+    def test_partitions_exactly(self):
+        for n_items in (1, 2, 7, 100, 101):
+            for n_shards in (1, 2, 3, 8, 200):
+                slices = shard_slices(n_items, n_shards)
+                covered = []
+                for s in slices:
+                    assert s.stop > s.start  # no empty shards
+                    covered.extend(range(s.start, s.stop))
+                assert covered == list(range(n_items))
+                assert len(slices) == min(n_shards, n_items)
+
+    def test_balanced_within_one(self):
+        slices = shard_slices(103, 4)
+        sizes = [s.stop - s.start for s in slices]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_deterministic(self):
+        assert shard_slices(100, 3) == shard_slices(100, 3)
+
+    def test_zero_items(self):
+        assert shard_slices(0, 4) == [slice(0, 0)]
+
+
+class TestWorkerResolution:
+    def test_auto_caps_at_n_worlds(self):
+        assert resolve_workers(AUTO_WORKERS, 1) == 1
+
+    def test_explicit_capped_at_n_worlds(self):
+        assert resolve_workers(16, 4) == 4
+
+    def test_none_defers_to_default(self):
+        previous = get_default_workers()
+        try:
+            set_default_workers(3)
+            assert resolve_workers(None, 100) == 3
+        finally:
+            set_default_workers(previous)
+
+    def test_check_rejects_bad_values(self):
+        for bad in (0, -1, 2.5, "fast", True):
+            with pytest.raises(EstimationError):
+                check_workers(bad)
+        with pytest.raises(EstimationError):
+            check_workers(None)  # allow_none defaults to False
+        assert check_workers(None, allow_none=True) is None
+        assert check_workers(AUTO_WORKERS) == AUTO_WORKERS
+
+    def test_effective_workers_gates_tiny_work(self):
+        # Below one work-floor of items, sharding would cost more in
+        # thread handoff than the work itself: stay inline.
+        assert effective_workers(8, MIN_SHARD_ITEMS - 1) == 1
+        assert effective_workers(8, 2 * MIN_SHARD_ITEMS) == 2
+        assert effective_workers(8, 100 * MIN_SHARD_ITEMS) == 8
+        assert effective_workers(1, 100 * MIN_SHARD_ITEMS) == 1
+
+    def test_set_default_rejects_bad_values(self):
+        previous = get_default_workers()
+        try:
+            with pytest.raises(EstimationError):
+                set_default_workers(0)
+            assert get_default_workers() == previous
+        finally:
+            set_default_workers(previous)
+
+
+class TestWorkerPool:
+    def test_results_in_shard_order(self):
+        pool = WorkerPool(4)
+        shards = pool.world_shards(10)
+        results = pool.run(lambda s: (s.start, s.stop), shards)
+        assert results == [(s.start, s.stop) for s in shards]
+
+    def test_serial_pool_runs_inline(self):
+        pool = WorkerPool(1)
+        thread_ids = pool.run(lambda s: threading.get_ident(), [slice(0, 1), slice(1, 2)])
+        assert set(thread_ids) == {threading.get_ident()}
+
+    def test_threaded_pool_uses_worker_threads(self):
+        pool = WorkerPool(2)
+        names = pool.run(
+            lambda s: threading.current_thread().name,
+            pool.world_shards(2),
+        )
+        assert all(name.startswith("repro-2w") for name in names)
+
+    def test_exceptions_propagate(self):
+        pool = WorkerPool(2)
+
+        def boom(shard):
+            raise ValueError(f"shard {shard.start}")
+
+        with pytest.raises(ValueError, match="shard"):
+            pool.run(boom, pool.world_shards(4))
+
+    def test_disjoint_writes_compose(self):
+        out = [0] * 12
+        pool = WorkerPool(3)
+
+        def fill(span):
+            for i in range(span.start, span.stop):
+                out[i] = i * i
+
+        pool.run(fill, pool.world_shards(12))
+        assert out == [i * i for i in range(12)]
+
+
+class TestEstimatorWorkers:
+    class _FakeEstimator:
+        def __init__(self):
+            self.setting = None
+
+        def set_workers(self, workers):
+            previous, self.setting = self.setting, workers
+            return previous
+
+    def test_pins_and_restores(self):
+        est = self._FakeEstimator()
+        est.set_workers(3)
+        with estimator_workers(est, 8):
+            assert est.setting == 8
+        assert est.setting == 3
+
+    def test_restores_on_error(self):
+        est = self._FakeEstimator()
+        est.set_workers(2)
+        with pytest.raises(RuntimeError):
+            with estimator_workers(est, 8):
+                raise RuntimeError("solver blew up")
+        assert est.setting == 2
+
+    def test_none_is_a_no_op(self):
+        est = self._FakeEstimator()
+        est.set_workers(5)
+        with estimator_workers(est, None):
+            assert est.setting == 5
+        assert est.setting == 5
+
+    def test_estimators_without_the_knob_are_left_alone(self):
+        class Bare:
+            pass
+
+        with estimator_workers(Bare(), 4):
+            pass  # must not raise
+
+    def test_prefers_thread_local_pin_over_setter(self):
+        # Estimators exposing pinned_workers (WorldEnsemble does) get
+        # the concurrency-safe pin; set_workers must not be touched.
+        from contextlib import contextmanager
+
+        class Pinnable:
+            def __init__(self):
+                self.pinned = None
+                self.setter_called = False
+
+            @contextmanager
+            def pinned_workers(self, workers):
+                self.pinned = workers
+                try:
+                    yield
+                finally:
+                    self.pinned = None
+
+            def set_workers(self, workers):
+                self.setter_called = True
+
+        est = Pinnable()
+        with estimator_workers(est, 4):
+            assert est.pinned == 4
+        assert est.pinned is None
+        assert not est.setter_called
