@@ -8,7 +8,7 @@ guarantees, and every substrate they depend on (graph engine, IC/LT
 diffusion, live-edge influence estimation, dataset generators) plus a
 harness regenerating every table and figure of the paper's evaluation.
 
-Quickstart::
+Quickstart (imperative)::
 
     from repro import (
         WorldEnsemble, two_block_sbm,
@@ -23,6 +23,17 @@ Quickstart::
     unfair = solve_tcim_budget(ensemble, budget=30, deadline=20)
     fair = solve_fair_tcim_budget(ensemble, budget=30, deadline=20)
     print(unfair.report.disparity, fair.report.disparity)
+
+Quickstart (declarative — serializable, cacheable, service-ready)::
+
+    from repro import EnsembleSpec, RunSpec, Session, SolverSpec
+
+    session = Session()
+    result = session.solve(RunSpec(
+        ensemble=EnsembleSpec(dataset="synthetic", n_worlds=100, world_seed=1),
+        solver=SolverSpec(problem="budget", budget=30, deadline=20),
+    ))
+    print(result.disparity, result.spec.to_json())
 """
 
 from repro.core import (
@@ -60,8 +71,18 @@ from repro.influence import (
     monte_carlo_group_utilities,
     monte_carlo_utility,
 )
+from repro.api import (
+    EnsembleSpec,
+    ExecutionSpec,
+    RunResult,
+    RunSpec,
+    Session,
+    SolverSpec,
+    default_session,
+    spec_template,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -98,4 +119,13 @@ __all__ = [
     "compare_solutions",
     "check_theorem1",
     "check_theorem2",
+    # declarative api
+    "EnsembleSpec",
+    "SolverSpec",
+    "ExecutionSpec",
+    "RunSpec",
+    "RunResult",
+    "Session",
+    "default_session",
+    "spec_template",
 ]

@@ -1,0 +1,477 @@
+"""The :class:`Session` façade: specs in, results out, worlds shared.
+
+A session owns three things a service surface needs and scattered
+kwargs could not provide:
+
+1. **An explicit config chain.**  Every execution knob resolves as
+   ``spec.execution > session execution > process defaults
+   (repro.config.execution_defaults) > library default`` — no hidden
+   mutable state, and the fully-resolved values are echoed back on the
+   result for audit.
+2. **An ensemble cache.**  Building a :class:`WorldEnsemble` (world
+   sampling + distance store) dwarfs most solves; the session keys
+   built estimators by :meth:`EnsembleSpec.fingerprint` (plus the
+   resolved backend, which changes the store), so N solves over one
+   graph — a budget sweep, a deadline sweep, P1-vs-P4 on common random
+   numbers — share worlds.  Sharing worlds is also what makes the
+   comparisons *fair*: every solve sees the same randomness.
+3. **A stable result shape.**  :class:`RunResult` carries the
+   solution, trace, per-group utilities, disparity, timings and the
+   resolved spec — everything a caller (or the JSON CLI) needs,
+   without reaching into solver internals.
+
+Execution knobs are pinned per solve (the estimators' thread-local
+pin stack), so concurrent ``solve`` calls on one shared session are
+safe and bit-identical to serial runs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.api.datasets import build_dataset
+from repro.api.specs import EnsembleSpec, ExecutionSpec, RunSpec
+from repro.config import execution_defaults
+from repro.core.budget import solve_budget_spec
+from repro.core.cover import solve_cover_spec
+from repro.core.greedy import DEFAULT_BLOCK_SIZE, SelectionTrace
+from repro.errors import ConfigError
+from repro.influence.ensemble import WorldEnsemble
+from repro.influence.factory import make_estimator
+from repro.influence.parallel import (
+    LIBRARY_DEFAULT_WORKERS,
+    resolve_workers,
+)
+
+#: Ensembles a session keeps alive at once (LRU beyond this).  Small on
+#: purpose: each entry can hold a multi-hundred-MiB distance store.
+DEFAULT_MAX_CACHED_ENSEMBLES = 4
+
+
+def _jsonify_label(label: Any) -> Any:
+    """Node labels as JSON scalars (graphs use str/int labels; numpy
+    integers sneak in from index round-trips)."""
+    if isinstance(label, (str, bool)):
+        return label
+    if isinstance(label, (int, np.integer)):
+        return int(label)
+    return str(label)
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Everything one solve produced, in a stable, mostly-plain shape.
+
+    ``spec`` is the *resolved* request: every execution field concrete
+    (the actual backend after ``"auto"``, the actual worker count, the
+    actual block size), so the result alone documents how it was made.
+    ``trace`` and ``solution`` carry the full solver objects for
+    callers that want them; :meth:`to_dict` is the JSON-safe summary
+    (what ``repro solve --json`` prints).
+    """
+
+    spec: RunSpec
+    problem: str
+    seeds: Tuple[Any, ...]
+    group_names: Tuple[Hashable, ...]
+    group_sizes: Tuple[int, ...]
+    group_utilities: Tuple[float, ...]
+    group_fractions: Tuple[float, ...]
+    total_fraction: float
+    disparity: float
+    objective: float
+    stopped_reason: str
+    evaluations: int
+    ensemble_cached: bool
+    build_seconds: float
+    solve_seconds: float
+    trace: SelectionTrace = field(repr=False)
+    solution: Any = field(repr=False)
+
+    @property
+    def seed_count(self) -> int:
+        return len(self.seeds)
+
+    @property
+    def deadline(self) -> float:
+        return self.spec.solver.deadline
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe summary (trace and solution objects excluded)."""
+        return {
+            "problem": self.problem,
+            "seeds": [_jsonify_label(s) for s in self.seeds],
+            "seed_count": self.seed_count,
+            "groups": [str(g) for g in self.group_names],
+            "group_sizes": list(self.group_sizes),
+            "group_utilities": list(self.group_utilities),
+            "group_fractions": list(self.group_fractions),
+            "total_fraction": self.total_fraction,
+            "disparity": self.disparity,
+            "objective": self.objective,
+            "stopped_reason": self.stopped_reason,
+            "evaluations": self.evaluations,
+            "timings": {
+                "build_seconds": self.build_seconds,
+                "solve_seconds": self.solve_seconds,
+                "ensemble_cached": self.ensemble_cached,
+            },
+            "spec": self.spec.to_dict(),
+        }
+
+    def as_text(self) -> str:
+        """Human-readable summary (what ``repro solve`` prints)."""
+        execution = self.spec.execution
+        lines = [
+            f"{self.problem} on {self.spec.ensemble.dataset!r} "
+            f"[{execution.backend} backend, "
+            f"{self.spec.ensemble.n_worlds} worlds, "
+            f"workers={execution.workers}, block_size={execution.block_size}]",
+            f"  seeds ({self.seed_count}): "
+            f"{[_jsonify_label(s) for s in self.seeds]}",
+            f"  total fraction {self.total_fraction:.4f}   "
+            f"disparity {self.disparity:.4f}   "
+            f"objective {self.objective:.4f}",
+        ]
+        for name, size, fraction in zip(
+            self.group_names, self.group_sizes, self.group_fractions
+        ):
+            lines.append(f"    group {name!s:<12} |V_i|={size:<6} f/|V_i|={fraction:.4f}")
+        cached = " (ensemble cached)" if self.ensemble_cached else ""
+        lines.append(
+            f"  build {self.build_seconds:.2f}s{cached}   "
+            f"solve {self.solve_seconds:.2f}s   "
+            f"evaluations {self.evaluations}   stop: {self.stopped_reason}"
+        )
+        return "\n".join(lines)
+
+
+class Session:
+    """Config resolution + ensemble cache + ``solve``/``solve_many``.
+
+    Thread-safe: the cache is lock-protected and execution knobs are
+    pinned per solve rather than written anywhere shared.  One session
+    per service process (or per tenant/configuration) is the intended
+    shape; :func:`default_session` provides the process-default one the
+    experiment helpers build through.
+    """
+
+    def __init__(
+        self,
+        execution: Optional[ExecutionSpec] = None,
+        max_cached_ensembles: int = DEFAULT_MAX_CACHED_ENSEMBLES,
+    ) -> None:
+        if execution is None:
+            execution = ExecutionSpec()
+        if not isinstance(execution, ExecutionSpec):
+            raise ConfigError(
+                f"execution must be an ExecutionSpec, got "
+                f"{type(execution).__name__}"
+            )
+        if max_cached_ensembles < 1:
+            raise ConfigError(
+                f"max_cached_ensembles must be >= 1, got {max_cached_ensembles}"
+            )
+        self.execution = execution
+        self.max_cached_ensembles = int(max_cached_ensembles)
+        self._lock = threading.RLock()
+        self._ensembles: "OrderedDict[Tuple, Any]" = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------------
+    # config chain
+    # ------------------------------------------------------------------
+    def resolve_execution(
+        self, execution: Optional[ExecutionSpec] = None
+    ) -> ExecutionSpec:
+        """Collapse the chain to concrete values.
+
+        ``spec > session > process defaults > library default`` per
+        field; the result has no ``None`` left (``workers`` may still
+        be the symbolic ``"auto"``, resolved against ``n_worlds`` at
+        build/solve time).
+        """
+        spec = execution or ExecutionSpec()
+
+        def chain(name: str, library_default):
+            for value in (
+                getattr(spec, name),
+                getattr(self.execution, name),
+                execution_defaults.get(name),
+            ):
+                if value is not None:
+                    return value
+            return library_default
+
+        return ExecutionSpec(
+            backend=chain("backend", "auto"),
+            workers=chain("workers", LIBRARY_DEFAULT_WORKERS),
+            block_size=chain("block_size", DEFAULT_BLOCK_SIZE),
+        )
+
+    # ------------------------------------------------------------------
+    # ensemble cache
+    # ------------------------------------------------------------------
+    def _cache_get(self, key: Tuple):
+        with self._lock:
+            entry = self._ensembles.get(key)
+            if entry is not None:
+                self._ensembles.move_to_end(key)
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+            return entry
+
+    def _cache_put(self, key: Tuple, estimator: Any) -> Any:
+        with self._lock:
+            existing = self._ensembles.get(key)
+            if existing is not None:
+                # A concurrent builder won the race; share its worlds
+                # (the whole point of the cache) and drop ours.
+                self._ensembles.move_to_end(key)
+                return existing
+            self._ensembles[key] = estimator
+            while len(self._ensembles) > self.max_cached_ensembles:
+                self._ensembles.popitem(last=False)
+            return estimator
+
+    def clear_cache(self) -> None:
+        """Drop every cached ensemble (counters are kept)."""
+        with self._lock:
+            self._ensembles.clear()
+
+    @property
+    def cache_info(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "entries": len(self._ensembles),
+            }
+
+    def ensemble_for(
+        self,
+        spec: EnsembleSpec,
+        execution: Optional[ExecutionSpec] = None,
+    ):
+        """The (possibly cached) estimator for an :class:`EnsembleSpec`.
+
+        Keyed by the spec fingerprint plus the resolved backend name
+        (the backend changes the distance store, never the estimates;
+        caching per backend keeps memory accounting honest).  Workers
+        are *not* part of the key — they never change results — and are
+        pinned per solve instead.
+        """
+        estimator, _ = self._ensemble_for(spec, self.resolve_execution(execution))
+        return estimator
+
+    def _ensemble_for(
+        self, spec: EnsembleSpec, resolved: ExecutionSpec
+    ) -> Tuple[Any, bool]:
+        if not isinstance(spec, EnsembleSpec):
+            raise ConfigError(
+                f"expected an EnsembleSpec, got {type(spec).__name__}"
+            )
+        key = ("spec", spec.fingerprint(), resolved.backend)
+        cached = self._cache_get(key)
+        if cached is not None:
+            return cached, True
+        graph, assignment = build_dataset(
+            spec.dataset, spec.dataset_params, spec.dataset_seed
+        )
+        estimator = make_estimator(
+            spec,
+            graph,
+            assignment,
+            backend=resolved.backend,
+            workers=resolved.workers,
+        )
+        return self._cache_put(key, estimator), False
+
+    def build_ensemble(
+        self,
+        graph,
+        assignment,
+        n_worlds: int,
+        seed,
+        candidates: Optional[Sequence[Any]] = None,
+        model: str = "ic",
+        backend: Optional[str] = None,
+        workers=None,
+    ) -> WorldEnsemble:
+        """Ensemble construction for callers holding a *graph object*
+        (the experiment layer), through the same cache and chain.
+
+        Graph objects have no content fingerprint, so the cache keys on
+        object identity plus parameters — safe because every cached
+        entry keeps its graph alive (an ``id`` can only be reused after
+        the object is collected, which the cache itself prevents).
+        Non-integer seeds (generators, ``None``) are inherently
+        unreplayable, so those builds bypass the cache.  The requested
+        ``workers`` setting is part of the key: it is perf-only, but
+        sharing one ensemble across different settings would mean
+        mutating the earlier caller's knob under it (``set_workers`` is
+        deliberately not synchronised), so each setting gets its own
+        entry — experiments pass a constant setting, so sharing is
+        unaffected in practice.
+        """
+        resolved_backend = backend
+        if resolved_backend is None:
+            resolved_backend = self.execution.backend
+        if resolved_backend is None:
+            resolved_backend = execution_defaults.get("backend", "auto")
+
+        cacheable = isinstance(seed, int) and not isinstance(seed, bool)
+        key = None
+        if cacheable:
+            key = (
+                "graph",
+                id(graph),
+                id(assignment),
+                int(n_worlds),
+                int(seed),
+                model,
+                None if candidates is None else tuple(candidates),
+                resolved_backend,
+                workers,
+            )
+            cached = self._cache_get(key)
+            if cached is not None:
+                return cached
+        ensemble = WorldEnsemble(
+            graph,
+            assignment,
+            n_worlds=n_worlds,
+            candidates=candidates,
+            model=model,
+            seed=seed,
+            backend=resolved_backend,
+            workers=workers,
+        )
+        if key is not None:
+            ensemble = self._cache_put(key, ensemble)
+        return ensemble
+
+    # ------------------------------------------------------------------
+    # solving
+    # ------------------------------------------------------------------
+    def solve(self, spec: RunSpec) -> RunResult:
+        """Run one declarative request end to end.
+
+        Accepts a :class:`RunSpec` (or a plain dict/JSON-shaped
+        mapping, for service handlers).  Bit-identical to the
+        equivalent legacy kwarg calls on the same ensemble — the spec
+        layer adds no randomness and no arithmetic.
+        """
+        if isinstance(spec, dict):
+            spec = RunSpec.from_dict(spec)
+        if not isinstance(spec, RunSpec):
+            raise ConfigError(f"expected a RunSpec, got {type(spec).__name__}")
+        resolved = self.resolve_execution(spec.execution)
+
+        started = time.perf_counter()
+        estimator, was_cached = self._ensemble_for(spec.ensemble, resolved)
+        build_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        if spec.solver.problem == "budget":
+            solution = solve_budget_spec(
+                estimator,
+                spec.solver,
+                block_size=resolved.block_size,
+                workers=resolved.workers,
+            )
+        else:
+            solution = solve_cover_spec(
+                estimator,
+                spec.solver,
+                block_size=resolved.block_size,
+                workers=resolved.workers,
+            )
+        solve_seconds = time.perf_counter() - started
+
+        solver_echo = spec.solver
+        if (
+            spec.solver.problem == "budget"
+            and spec.solver.fair
+            and spec.solver.concave is None
+        ):
+            # Resolve the defaulted wrapper so the audit record names
+            # the objective that actually ran.
+            solver_echo = replace(spec.solver, concave="log")
+        echo = replace(
+            spec,
+            solver=solver_echo,
+            execution=ExecutionSpec(
+                backend=getattr(estimator, "backend_name", resolved.backend),
+                workers=resolve_workers(
+                    resolved.workers, getattr(estimator, "n_worlds", 1)
+                ),
+                block_size=resolved.block_size,
+            ),
+        )
+        report = solution.report
+        fractions = report.fraction_influenced
+        return RunResult(
+            spec=echo,
+            problem=solution.problem,
+            seeds=tuple(solution.seeds),
+            group_names=tuple(report.groups),
+            group_sizes=tuple(int(s) for s in report.group_sizes),
+            group_utilities=tuple(float(u) for u in report.utilities),
+            group_fractions=tuple(float(f) for f in fractions),
+            total_fraction=float(report.population_fraction),
+            disparity=float(report.disparity),
+            objective=float(solution.trace.final_objective),
+            stopped_reason=solution.trace.stopped_reason,
+            evaluations=int(solution.trace.total_evaluations),
+            ensemble_cached=was_cached,
+            build_seconds=build_seconds,
+            solve_seconds=solve_seconds,
+            trace=solution.trace,
+            solution=solution,
+        )
+
+    def solve_many(self, specs: Iterable[RunSpec]) -> List[RunResult]:
+        """Solve several requests, sharing the ensemble cache.
+
+        Specs naming the same :class:`EnsembleSpec` (by fingerprint)
+        build worlds once — the batch-service shape: one graph, many
+        budgets/deadlines/objectives on common random numbers.
+        """
+        return [self.solve(spec) for spec in specs]
+
+
+_default_session: Optional[Session] = None
+_default_session_lock = threading.Lock()
+
+
+def default_session() -> Session:
+    """The process-default session (created on first use).
+
+    What the module-level :func:`solve` / :func:`solve_many` and the
+    experiment layer's ``build_ensemble`` run through, so casual use
+    shares one ensemble cache without any setup.
+    """
+    global _default_session
+    with _default_session_lock:
+        if _default_session is None:
+            _default_session = Session()
+        return _default_session
+
+
+def solve(spec: RunSpec) -> RunResult:
+    """``default_session().solve(spec)`` — the one-call library entry."""
+    return default_session().solve(spec)
+
+
+def solve_many(specs: Iterable[RunSpec]) -> List[RunResult]:
+    """``default_session().solve_many(specs)``."""
+    return default_session().solve_many(specs)

@@ -5,24 +5,42 @@ Usage::
     python -m repro.cli list
     python -m repro.cli run fig4a [--quick] [--seed N] [--backend auto|dense|sparse|lazy] [--block-size N] [--workers N|auto]
     python -m repro.cli run all [--quick]
+    python -m repro.cli spec init [--problem budget|cover] [--out FILE]
+    python -m repro.cli spec validate FILE [FILE ...]
+    python -m repro.cli solve SPEC [SPEC ...] [--json] [--backend ...] [--workers N|auto] [--block-size N]
 
-``run`` prints the experiment's table, notes, and shape checks; the
-exit code is non-zero when any shape check fails, so the CLI doubles
-as a reproduction smoke test.
+``run`` reproduces the paper's figures/tables; the exit code is
+non-zero when any shape check fails, so it doubles as a reproduction
+smoke test.  ``solve`` is the declarative path: it reads
+:class:`repro.api.RunSpec` JSON files (``-`` for stdin) and runs them
+through one :class:`repro.api.Session`, so several specs over the same
+ensemble share worlds.  ``spec init`` emits a runnable template —
+``repro spec init | repro solve -`` is the zero-to-result pipeline —
+and ``spec validate`` lints spec files without running them (CI lints
+the committed examples this way).
+
+All numeric flags are validated by the same canonical checkers the
+spec layer uses, so a bad value is an argparse usage error with the
+library's message, never a traceback.  Configuration errors in spec
+files exit with code 2 and a one-line message.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
 
-from repro.errors import EstimationError
+from repro.api import RunSpec, Session, ExecutionSpec, spec_template
+from repro.config import execution_defaults
+from repro.errors import EstimationError, OptimizationError, ReproError
 from repro.experiments.registry import list_experiments, run_experiment
 from repro.influence.backends import BACKEND_CHOICES
-from repro.influence.parallel import AUTO_WORKERS, check_workers, set_default_workers
-from repro.core.greedy import DEFAULT_BLOCK_SIZE, set_default_block_size
+from repro.influence.parallel import AUTO_WORKERS, check_workers
+from repro.core.greedy import DEFAULT_BLOCK_SIZE, check_block_size
+from repro.rng import check_seed
 
 
 def _workers_arg(value: str):
@@ -41,6 +59,29 @@ def _workers_arg(value: str):
         return check_workers(candidate)
     except EstimationError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _block_size_arg(value: str) -> int:
+    """``--block-size``: the spec layer's ``check_block_size`` rule."""
+    try:
+        return check_block_size(int(value))
+    except (ValueError, OptimizationError) as exc:
+        message = (
+            f"block_size must be a positive int, got {value!r}"
+            if isinstance(exc, ValueError)
+            else str(exc)
+        )
+        raise argparse.ArgumentTypeError(message) from None
+
+
+def _seed_arg(value: str) -> int:
+    """``--seed``: the spec layer's ``check_seed`` rule."""
+    try:
+        return check_seed(int(value))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"seed must be a non-negative integer, got {value!r}"
+        ) from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -62,8 +103,56 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="reduced sample counts / sweeps (seconds instead of minutes)",
     )
-    run.add_argument("--seed", type=int, default=0, help="master RNG seed")
     run.add_argument(
+        "--seed", type=_seed_arg, default=0, help="master RNG seed (non-negative int)"
+    )
+    # run keeps its historical default of auto workers; solve defers to
+    # the config chain (None) so spec files stay in charge.
+    _add_execution_flags(run, workers_default=AUTO_WORKERS)
+
+    solve = sub.add_parser(
+        "solve", help="run declarative RunSpec JSON files ('-' reads stdin)"
+    )
+    solve.add_argument(
+        "specs",
+        nargs="+",
+        metavar="SPEC",
+        help="path to a RunSpec JSON file, or '-' for stdin",
+    )
+    solve.add_argument(
+        "--json",
+        action="store_true",
+        help="print results as a JSON array instead of text summaries",
+    )
+    _add_execution_flags(solve)
+
+    spec = sub.add_parser("spec", help="create and lint RunSpec files")
+    spec_sub = spec.add_subparsers(dest="spec_command", required=True)
+    init = spec_sub.add_parser(
+        "init", help="emit a runnable template spec (stdout or --out)"
+    )
+    init.add_argument(
+        "--problem",
+        choices=("budget", "cover"),
+        default="budget",
+        help="template problem family (default: budget)",
+    )
+    init.add_argument(
+        "--out", default=None, metavar="FILE", help="write to FILE instead of stdout"
+    )
+    validate = spec_sub.add_parser(
+        "validate", help="lint spec files against the validators (no solve)"
+    )
+    validate.add_argument("files", nargs="+", metavar="FILE")
+    return parser
+
+
+def _add_execution_flags(
+    parser: argparse.ArgumentParser, workers_default=None
+) -> None:
+    """The shared execution knobs (``run`` sets process defaults with
+    them; ``solve`` builds its session's :class:`ExecutionSpec`)."""
+    parser.add_argument(
         "--backend",
         choices=list(BACKEND_CHOICES),
         default=None,
@@ -73,9 +162,9 @@ def build_parser() -> argparse.ArgumentParser:
             "all backends)"
         ),
     )
-    run.add_argument(
+    parser.add_argument(
         "--block-size",
-        type=int,
+        type=_block_size_arg,
         default=None,
         metavar="N",
         help=(
@@ -84,31 +173,38 @@ def build_parser() -> argparse.ArgumentParser:
             "batching; results are identical at every block size)"
         ),
     )
-    run.add_argument(
+    parser.add_argument(
         "--workers",
         type=_workers_arg,
-        default=AUTO_WORKERS,
+        default=workers_default,
         metavar="N|auto",
         help=(
             "worker threads for world-sharded estimator evaluation "
-            "(default: auto = min(cpu count, n_worlds); 1 runs fully "
-            "serial; results are bit-identical at every worker count)"
+            "(default: auto = min(cpu count, n_worlds) for 'run', the "
+            "config chain for 'solve'; 1 runs fully serial; results are "
+            "bit-identical at every worker count)"
         ),
     )
-    return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+def _read_spec(path: str) -> RunSpec:
+    if path == "-":
+        return RunSpec.from_json(sys.stdin.read())
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise ReproError(f"cannot read spec {path!r}: {exc}") from None
+    return RunSpec.from_json(text)
 
-    if args.command == "list":
-        for experiment_id in list_experiments():
-            print(experiment_id)
-        return 0
 
+def _cmd_run(args) -> int:
+    # The run pipeline reads the process-wide chain (experiments build
+    # ensembles through the default session), so the flags land in
+    # execution_defaults — already validated by the argparse types.
     if args.block_size is not None:
-        set_default_block_size(args.block_size)
-    set_default_workers(args.workers)
+        execution_defaults.set("block_size", args.block_size)
+    execution_defaults.set("workers", args.workers)
     ids = list_experiments() if args.experiment == "all" else [args.experiment]
     failures = 0
     for experiment_id in ids:
@@ -126,6 +222,76 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"{failures} experiment(s) had failing shape checks", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_solve(args) -> int:
+    session = Session(
+        execution=ExecutionSpec(
+            backend=args.backend,
+            workers=args.workers,
+            block_size=args.block_size,
+        )
+    )
+    results = []
+    for path in args.specs:
+        spec = _read_spec(path)
+        results.append(session.solve(spec))
+    if args.json:
+        print(json.dumps([result.to_dict() for result in results], indent=2))
+    else:
+        for path, result in zip(args.specs, results):
+            print(f"# {path}")
+            print(result.as_text())
+            print()
+    return 0
+
+
+def _cmd_spec(args) -> int:
+    if args.spec_command == "init":
+        text = spec_template(problem=args.problem).to_json()
+        if args.out:
+            try:
+                with open(args.out, "w", encoding="utf-8") as handle:
+                    handle.write(text + "\n")
+            except OSError as exc:
+                raise ReproError(
+                    f"cannot write spec {args.out!r}: {exc}"
+                ) from None
+            print(f"wrote {args.out}", file=sys.stderr)
+        else:
+            print(text)
+        return 0
+    # validate
+    failures = 0
+    for path in args.files:
+        try:
+            _read_spec(path)
+        except ReproError as exc:
+            print(f"FAIL {path}: {exc}", file=sys.stderr)
+            failures += 1
+        else:
+            print(f"ok   {path}")
+    return 2 if failures else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for experiment_id in list_experiments():
+            print(experiment_id)
+        return 0
+    if args.command == "run":
+        return _cmd_run(args)
+    try:
+        if args.command == "solve":
+            return _cmd_solve(args)
+        return _cmd_spec(args)
+    except ReproError as exc:
+        # Spec-driven paths promise friendly failures: configuration
+        # and solve errors are messages, not tracebacks.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

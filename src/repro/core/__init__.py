@@ -15,7 +15,12 @@ family ``H``, the CELF lazy-greedy engine, and empirical checkers for
 the paper's two approximation theorems.
 """
 
-from repro.core.budget import BudgetSolution, solve_fair_tcim_budget, solve_tcim_budget
+from repro.core.budget import (
+    BudgetSolution,
+    solve_budget_spec,
+    solve_fair_tcim_budget,
+    solve_tcim_budget,
+)
 from repro.core.concave import (
     ConcaveFunction,
     identity,
@@ -23,11 +28,17 @@ from repro.core.concave import (
     power,
     sqrt,
 )
-from repro.core.cover import CoverSolution, solve_fair_tcim_cover, solve_tcim_cover
+from repro.core.cover import (
+    CoverSolution,
+    solve_cover_spec,
+    solve_fair_tcim_cover,
+    solve_tcim_cover,
+)
 from repro.core.greedy import (
     DEFAULT_BLOCK_SIZE,
     SelectionStep,
     SelectionTrace,
+    check_block_size,
     get_default_block_size,
     lazy_greedy,
     plain_greedy,
@@ -47,6 +58,8 @@ __all__ = [
     "solve_fair_tcim_budget",
     "solve_tcim_cover",
     "solve_fair_tcim_cover",
+    "solve_budget_spec",
+    "solve_cover_spec",
     "BudgetSolution",
     "CoverSolution",
     "ConcaveFunction",
@@ -63,6 +76,7 @@ __all__ = [
     "lazy_greedy",
     "plain_greedy",
     "DEFAULT_BLOCK_SIZE",
+    "check_block_size",
     "get_default_block_size",
     "set_default_block_size",
     "FairnessComparison",

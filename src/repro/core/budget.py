@@ -22,7 +22,7 @@ from repro.graph.digraph import NodeId
 from repro.influence.backends import UtilityEstimator
 from repro.influence.parallel import WorkersLike
 from repro.influence.utility import UtilityReport, utility_report
-from repro.core.concave import ConcaveFunction, log1p
+from repro.core.concave import ConcaveFunction, by_name as _concave_by_name, log1p
 from repro.core.greedy import SelectionTrace, lazy_greedy, plain_greedy
 from repro.core.objectives import ConcaveSumObjective, TotalInfluenceObjective
 
@@ -119,6 +119,52 @@ def _solve(
         trace=trace,
         report=report,
         ensemble=ensemble,
+    )
+
+
+def solve_budget_spec(
+    ensemble: UtilityEstimator,
+    spec,
+    block_size: Optional[int] = None,
+    workers: Optional[WorkersLike] = None,
+) -> BudgetSolution:
+    """Solve a declarative budget request (P1 or P4) on a built estimator.
+
+    ``spec`` is a :class:`repro.api.SolverSpec` with
+    ``problem="budget"`` (duck-typed, so this module stays independent
+    of the api package): ``fair`` picks P4 over P1, ``concave`` is
+    resolved by name, and the remaining knobs map one-to-one onto
+    :func:`solve_tcim_budget` / :func:`solve_fair_tcim_budget` — the
+    output is bit-identical to the equivalent kwarg call.
+    ``block_size``/``workers`` are execution overrides the caller
+    resolved through the config chain (speed only, never results).
+    """
+    if getattr(spec, "problem", None) != "budget":
+        raise OptimizationError(
+            f"solve_budget_spec needs a budget SolverSpec, got "
+            f"problem={getattr(spec, 'problem', None)!r}"
+        )
+    if spec.fair:
+        return solve_fair_tcim_budget(
+            ensemble,
+            spec.budget,
+            spec.deadline,
+            # None means "the paper's default wrapper" — resolve to log.
+            concave=_concave_by_name(spec.concave or "log"),
+            weights=spec.weights,
+            method=spec.method,
+            discount=spec.discount,
+            block_size=block_size,
+            workers=workers,
+        )
+    return solve_tcim_budget(
+        ensemble,
+        spec.budget,
+        spec.deadline,
+        method=spec.method,
+        discount=spec.discount,
+        block_size=block_size,
+        workers=workers,
     )
 
 

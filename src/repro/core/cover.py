@@ -99,6 +99,39 @@ def _finalize(
     )
 
 
+def solve_cover_spec(
+    ensemble: UtilityEstimator,
+    spec,
+    block_size: Optional[int] = None,
+    workers: Optional[WorkersLike] = None,
+) -> CoverSolution:
+    """Solve a declarative cover request (P2 or P6) on a built estimator.
+
+    ``spec`` is a :class:`repro.api.SolverSpec` with ``problem="cover"``
+    (duck-typed — see :func:`repro.core.budget.solve_budget_spec`):
+    ``fair`` picks P6 over P2 and the knobs map one-to-one onto
+    :func:`solve_tcim_cover` / :func:`solve_fair_tcim_cover`, so the
+    output is bit-identical to the equivalent kwarg call.
+    """
+    if getattr(spec, "problem", None) != "cover":
+        raise OptimizationError(
+            f"solve_cover_spec needs a cover SolverSpec, got "
+            f"problem={getattr(spec, 'problem', None)!r}"
+        )
+    solver = solve_fair_tcim_cover if spec.fair else solve_tcim_cover
+    slack = getattr(spec, "slack", None)
+    return solver(
+        ensemble,
+        spec.quota,
+        spec.deadline,
+        max_seeds=spec.max_seeds,
+        slack=DEFAULT_SLACK if slack is None else slack,
+        method=spec.method,
+        block_size=block_size,
+        workers=workers,
+    )
+
+
 def solve_tcim_cover(
     ensemble: UtilityEstimator,
     quota: float,

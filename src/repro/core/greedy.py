@@ -36,11 +36,13 @@ lowest candidate position, so runs are exactly reproducible.
 from __future__ import annotations
 
 import heapq
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.config import execution_defaults
 from repro.errors import InfeasibleError, OptimizationError
 from repro.graph.digraph import NodeId
 from repro.influence.backends import UtilityEstimator
@@ -57,27 +59,65 @@ GAIN_TOLERANCE = 1e-12
 #: the table.
 DEFAULT_BLOCK_SIZE = 64
 
-_default_block_size = DEFAULT_BLOCK_SIZE
-
 StopCondition = Callable[[np.ndarray], bool]
+
+
+def check_block_size(
+    block_size: Optional[int], allow_none: bool = False
+) -> Optional[int]:
+    """Validate a block-size setting (``int >= 1``) and return it.
+
+    The single source of truth for the rule — shared by the greedy
+    engines, the CLI's ``--block-size`` parser, and the declarative
+    spec validators (:class:`repro.api.ExecutionSpec`).
+    """
+    if block_size is None:
+        if allow_none:
+            return None
+        raise OptimizationError("block_size must be a positive int, got None")
+    if isinstance(block_size, bool) or not isinstance(block_size, int):
+        raise OptimizationError(
+            f"block_size must be a positive int, got {block_size!r}"
+        )
+    if block_size < 1:
+        raise OptimizationError(f"block_size must be >= 1, got {block_size}")
+    return int(block_size)
 
 
 def set_default_block_size(block_size: int) -> None:
     """Set the process-wide block size for batched gain evaluation.
 
+    .. deprecated::
+        Mutable process-wide knobs are being retired in favour of the
+        explicit config chain: pass ``block_size=`` per solve, use
+        :class:`repro.api.ExecutionSpec` on a
+        :class:`repro.api.Session`, or — for a genuinely process-wide
+        setting — ``repro.config.execution_defaults.set("block_size",
+        n)`` after validating with :func:`check_block_size`.  This
+        shim validates, warns, and delegates to that store (so it is
+        now thread-safe, unlike the module global it replaced).
+
     ``1`` disables batching entirely (pure scalar path — what the
-    equivalence tests diff against); the CLI's ``--block-size`` flag
-    lands here.
+    equivalence tests diff against).
     """
-    if block_size < 1:
-        raise OptimizationError(f"block_size must be >= 1, got {block_size}")
-    global _default_block_size
-    _default_block_size = int(block_size)
+    value = check_block_size(block_size)
+    warnings.warn(
+        "set_default_block_size is deprecated; pass block_size= explicitly, "
+        "use repro.api.ExecutionSpec/Session, or set "
+        "repro.config.execution_defaults",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    execution_defaults.set("block_size", value)
 
 
 def get_default_block_size() -> int:
-    """The block size used when an engine is not given one explicitly."""
-    return _default_block_size
+    """The block size used when an engine is not given one explicitly.
+
+    Reads the process-wide store (:data:`repro.config.
+    execution_defaults`), falling back to :data:`DEFAULT_BLOCK_SIZE`.
+    """
+    return execution_defaults.get("block_size", DEFAULT_BLOCK_SIZE)
 
 
 def _iter_gain_blocks(
@@ -254,7 +294,7 @@ def _lazy_greedy_impl(
 ) -> SelectionTrace:
     _check_arguments(ensemble, max_seeds)
     if block_size is None:
-        block_size = _default_block_size
+        block_size = get_default_block_size()
     state = ensemble.empty_state()
     current_value = objective.value(ensemble.group_utilities(state, deadline, discount))
     trace = SelectionTrace()
@@ -375,7 +415,7 @@ def _plain_greedy_impl(
 ) -> SelectionTrace:
     _check_arguments(ensemble, max_seeds)
     if block_size is None:
-        block_size = _default_block_size
+        block_size = get_default_block_size()
     state = ensemble.empty_state()
     current_value = objective.value(ensemble.group_utilities(state, deadline, discount))
     trace = SelectionTrace()

@@ -6,22 +6,27 @@ trace (budget sweeps exploit that greedy solutions are nested), and
 evaluating disparity between a chosen pair of groups.
 
 Every ensemble an experiment builds flows through
-:func:`build_ensemble`, which is where the estimator backend is
-selected: per call via ``backend=``, or process-wide via
-:func:`set_default_backend` / :func:`use_backend` (what the CLI's
-``--backend`` flag sets).  The default is ``"auto"`` — dense for the
-paper-scale graphs, sparse/lazy as footprints grow.
+:func:`build_ensemble`, which routes construction through the default
+:class:`repro.api.Session` — one shared ensemble cache and the
+explicit config chain (per-call ``backend=`` > session execution >
+process defaults in :data:`repro.config.execution_defaults`).  The
+default backend is ``"auto"`` — dense for the paper-scale graphs,
+sparse/lazy as footprints grow.  :func:`set_default_backend` survives
+as a deprecation shim; :func:`use_backend` remains the scoped override
+the CLI's ``--backend`` flag uses.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Hashable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.config import execution_defaults
 from repro.errors import ConfigError, EstimationError
 from repro.graph.digraph import DiGraph, NodeId
 from repro.graph.groups import GroupAssignment
@@ -35,36 +40,64 @@ from repro.core.greedy import SelectionTrace
 #: Deadline sentinel used in sweep tables.
 INF = math.inf
 
-#: Process-wide backend used when ``build_ensemble`` gets no explicit one.
-_default_backend = "auto"
+#: Backend used when nothing in the config chain sets one.
+LIBRARY_DEFAULT_BACKEND = "auto"
+
+
+def check_backend_config(backend: str) -> str:
+    """Validate a backend name at the config layer (:class:`ConfigError`).
+
+    Same rule as :func:`repro.influence.backends.check_backend_name`,
+    re-typed: a bad name here is experiment/CLI/spec configuration, not
+    an estimation failure.
+    """
+    try:
+        return check_backend_name(backend)
+    except EstimationError as exc:
+        raise ConfigError(str(exc)) from None
 
 
 def set_default_backend(backend: str) -> None:
-    """Set the process-wide estimator backend for experiment ensembles."""
-    global _default_backend
-    try:
-        check_backend_name(backend)
-    except EstimationError as exc:
-        # Re-raise as the config-layer type: this is experiment/CLI
-        # configuration, not an estimation failure.
-        raise ConfigError(str(exc)) from None
-    _default_backend = backend
+    """Set the process-wide estimator backend for experiment ensembles.
+
+    .. deprecated::
+        Mutable process-wide knobs are being retired in favour of the
+        explicit config chain: pass ``backend=`` per ensemble, use
+        :class:`repro.api.ExecutionSpec` on a
+        :class:`repro.api.Session`, or — for a genuinely process-wide
+        setting — ``repro.config.execution_defaults.set("backend",
+        name)`` after validating with :func:`check_backend_config`.
+        This shim validates, warns, and delegates to that store (so it
+        is now thread-safe, unlike the module global it replaced).
+    """
+    check_backend_config(backend)
+    warnings.warn(
+        "set_default_backend is deprecated; pass backend= explicitly, use "
+        "repro.api.ExecutionSpec/Session, or set "
+        "repro.config.execution_defaults",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    execution_defaults.set("backend", backend)
 
 
 def get_default_backend() -> str:
     """The backend :func:`build_ensemble` uses when none is passed."""
-    return _default_backend
+    return execution_defaults.get("backend", LIBRARY_DEFAULT_BACKEND)
 
 
 @contextmanager
 def use_backend(backend: str) -> Iterator[None]:
-    """Temporarily override the default backend (restores on exit)."""
-    previous = get_default_backend()
-    set_default_backend(backend)
-    try:
+    """Temporarily override the process-default backend (restores on exit).
+
+    The scoped equivalent of writing ``backend`` into
+    :data:`repro.config.execution_defaults` — what ``run_experiment``'s
+    ``backend=`` override uses.  Process-wide for its duration, now
+    race-free under the store's lock.
+    """
+    check_backend_config(backend)
+    with execution_defaults.override("backend", backend):
         yield
-    finally:
-        set_default_backend(previous)
 
 
 @dataclass(frozen=True)
@@ -94,22 +127,30 @@ def build_ensemble(
 ) -> WorldEnsemble:
     """Single point of ensemble construction for every experiment.
 
-    ``backend=None`` defers to the process default (see
-    :func:`set_default_backend`); any explicit name wins.  Likewise
-    ``workers=None`` defers to the process-wide worker count
-    (:func:`repro.influence.parallel.set_default_workers`, what the
-    CLI's ``--workers`` sets).  Backends and worker counts change
-    memory/speed only — never the estimates — so figures are identical
-    under all of them.
+    Routes through the default :class:`repro.api.Session`'s ensemble
+    cache, so repeated builds over one ``(graph, assignment)`` pair
+    with identical parameters share worlds.  The cache keeps the last
+    few ensembles (and their distance stores) alive after an
+    experiment returns; long-lived processes that want the memory back
+    call ``repro.api.default_session().clear_cache()``.
+    ``backend=None`` defers
+    down the config chain (session execution, then the process default
+    in :data:`repro.config.execution_defaults` — what the CLI's
+    ``--backend`` flag and :func:`use_backend` set); any explicit name
+    wins.  Likewise ``workers=None`` defers to the chain.  Backends
+    and worker counts change memory/speed only — never the estimates —
+    so figures are identical under all of them.
     """
-    return WorldEnsemble(
+    from repro.api.session import default_session
+
+    return default_session().build_ensemble(
         graph,
         assignment,
         n_worlds=n_worlds,
+        seed=seed,
         candidates=candidates,
         model=model,
-        seed=seed,
-        backend=backend or _default_backend,
+        backend=backend,
         workers=workers,
     )
 

@@ -51,6 +51,11 @@ from repro.influence.parallel import (
     shard_slices,
 )
 from repro.influence.exact import exact_group_utilities, exact_utility
+from repro.influence.factory import (
+    estimator_kinds,
+    make_estimator,
+    register_estimator,
+)
 from repro.influence.montecarlo import monte_carlo_group_utilities, monte_carlo_utility
 from repro.influence.rrsets import RRCollection, ris_greedy, sample_rr_sets
 from repro.influence.utility import (
@@ -74,6 +79,9 @@ __all__ = [
     "check_backend_name",
     "make_backend",
     "select_backend",
+    "make_estimator",
+    "register_estimator",
+    "estimator_kinds",
     "AUTO_WORKERS",
     "WorkerPool",
     "get_default_workers",

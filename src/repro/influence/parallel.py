@@ -42,10 +42,12 @@ from __future__ import annotations
 
 import os
 import threading
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Union
 
+from repro.config import execution_defaults
 from repro.errors import EstimationError
 
 #: Sentinel worker count: resolve to ``min(available_cpus(), n_worlds)``.
@@ -54,7 +56,10 @@ AUTO_WORKERS = "auto"
 #: A worker setting as users write it: a positive int or ``"auto"``.
 WorkersLike = Union[int, str]
 
-_default_workers: WorkersLike = 1
+#: Worker count used when nothing in the config chain sets one: fully
+#: serial, the pre-threading path byte for byte.
+LIBRARY_DEFAULT_WORKERS: WorkersLike = 1
+
 _executor_lock = threading.Lock()
 #: Shared executors keyed by size — created once, reused by every pool
 #: of that size, never torn down (idle threads are effectively free,
@@ -84,19 +89,39 @@ def check_workers(
 def set_default_workers(workers: WorkersLike) -> None:
     """Set the process-wide worker count for world-sharded evaluation.
 
+    .. deprecated::
+        Mutable process-wide knobs are being retired in favour of the
+        explicit config chain: pass ``workers=`` per ensemble/solve,
+        use :class:`repro.api.ExecutionSpec` on a
+        :class:`repro.api.Session`, or — for a genuinely process-wide
+        setting — ``repro.config.execution_defaults.set("workers", n)``
+        after validating with :func:`check_workers`.  This shim
+        validates, warns, and delegates to that store (so it is now
+        thread-safe, unlike the module global it replaced).
+
     ``1`` (the library default) keeps every query on the caller thread
-    — the pre-threading serial path, byte for byte.  The CLI's
-    ``--workers`` flag and the ``REPRO_WORKERS`` test-suite variable
-    land here.  Worker counts change wall-clock time only, never any
-    estimate (see the module docstring's determinism contract).
+    — the pre-threading serial path, byte for byte.  Worker counts
+    change wall-clock time only, never any estimate (see the module
+    docstring's determinism contract).
     """
-    global _default_workers
-    _default_workers = check_workers(workers)
+    value = check_workers(workers)
+    warnings.warn(
+        "set_default_workers is deprecated; pass workers= explicitly, use "
+        "repro.api.ExecutionSpec/Session, or set "
+        "repro.config.execution_defaults",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    execution_defaults.set("workers", value)
 
 
 def get_default_workers() -> WorkersLike:
-    """The worker setting used when an ensemble is not given one."""
-    return _default_workers
+    """The worker setting used when an ensemble is not given one.
+
+    Reads the process-wide store (:data:`repro.config.
+    execution_defaults`), falling back to the serial library default.
+    """
+    return execution_defaults.get("workers", LIBRARY_DEFAULT_WORKERS)
 
 
 def available_cpus() -> int:

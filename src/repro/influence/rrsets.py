@@ -112,6 +112,36 @@ def sample_rr_sets(
     return RRCollection(graph=graph, deadline=deadline, sets=sets)
 
 
+def build_rrset_estimator(
+    spec,
+    graph: DiGraph,
+    assignment,
+    backend: Optional[str] = None,
+    workers=None,
+    backend_options=None,
+):
+    """Factory endpoint for ``EnsembleSpec(kind="rrset")``.
+
+    Registered with :mod:`repro.influence.factory` so the declarative
+    layer can *name* the RR-set estimator today.  The sampling
+    (:func:`sample_rr_sets`) and greedy max-cover (:func:`ris_greedy`)
+    skeleton above is real, but the per-group, per-seed-set
+    :class:`~repro.influence.backends.UtilityEstimator` protocol the
+    solvers need is still a ROADMAP item — so this builder fails fast
+    with directions instead of returning a half-estimator.  When the
+    IMM estimator lands, only this body changes: every spec, session
+    and CLI path is already wired.
+    """
+    raise EstimationError(
+        "the RR-set estimator is not implemented yet: "
+        "repro.influence.rrsets provides the sampling (sample_rr_sets) and "
+        "greedy max-cover (ris_greedy) skeleton, but not the per-group "
+        "UtilityEstimator protocol the solvers require (see ROADMAP.md, "
+        "'RR-set / IMM sketch estimator').  Use EnsembleSpec(kind='worlds') "
+        "until it lands."
+    )
+
+
 def ris_greedy(
     collection: RRCollection,
     budget: int,

@@ -17,6 +17,22 @@ import numpy as np
 RngLike = Union[int, np.random.Generator, None]
 
 
+def check_seed(seed) -> int:
+    """Validate an integer RNG seed (non-negative int) and return it.
+
+    The single source of truth for what the CLI's ``--seed`` flag and
+    the declarative specs (``dataset_seed`` / ``world_seed``) accept:
+    a plain non-negative integer, so every spec stays JSON-round-trip
+    safe and every run replayable.  Raises :class:`ValueError` with the
+    canonical message otherwise.
+    """
+    if isinstance(seed, bool) or not isinstance(seed, int):
+        raise ValueError(f"seed must be a non-negative integer, got {seed!r}")
+    if seed < 0:
+        raise ValueError(f"seed must be a non-negative integer, got {seed}")
+    return int(seed)
+
+
 def ensure_rng(seed: RngLike = None) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for ``seed``.
 

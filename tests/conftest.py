@@ -14,14 +14,16 @@ import os
 
 import pytest
 
+from repro.config import execution_defaults
 from repro.graph.digraph import DiGraph
 from repro.graph.groups import GroupAssignment
-from repro.influence.parallel import set_default_workers
+from repro.influence.parallel import check_workers
 
 _workers_env = os.environ.get("REPRO_WORKERS")
 if _workers_env:
-    set_default_workers(
-        _workers_env if _workers_env == "auto" else int(_workers_env)
+    execution_defaults.set(
+        "workers",
+        check_workers(_workers_env if _workers_env == "auto" else int(_workers_env)),
     )
 
 

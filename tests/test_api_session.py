@@ -1,0 +1,389 @@
+"""Session façade tests.
+
+The headline contract: ``Session.solve(RunSpec(...))`` is **bit
+identical** to the legacy kwarg calls on every backend — the
+declarative layer adds no randomness and no arithmetic — and specs
+sharing an :class:`EnsembleSpec` share one built ensemble.
+"""
+
+import math
+import threading
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    EnsembleSpec,
+    ExecutionSpec,
+    RunSpec,
+    Session,
+    SolverSpec,
+)
+from repro.config import execution_defaults
+from repro.core.budget import solve_fair_tcim_budget, solve_tcim_budget
+from repro.core.cover import solve_fair_tcim_cover
+from repro.datasets.synthetic import synthetic_sbm
+from repro.errors import ConfigError, EstimationError
+from repro.influence.backends import BACKEND_NAMES
+from repro.influence.ensemble import WorldEnsemble
+
+#: One small instance shared by every equivalence check below.
+SYN_PARAMS = {"n": 120, "activation_probability": 0.08}
+DATASET_SEED = 0
+WORLD_SEED = 7
+N_WORLDS = 8
+DEADLINE = 15.0
+
+
+def ensemble_spec(**overrides) -> EnsembleSpec:
+    base = dict(
+        dataset="synthetic",
+        dataset_params=dict(SYN_PARAMS),
+        dataset_seed=DATASET_SEED,
+        n_worlds=N_WORLDS,
+        world_seed=WORLD_SEED,
+    )
+    base.update(overrides)
+    return EnsembleSpec(**base)
+
+
+def legacy_ensemble(backend: str) -> WorldEnsemble:
+    graph, groups = synthetic_sbm(seed=DATASET_SEED, **SYN_PARAMS)
+    return WorldEnsemble(
+        graph, groups, n_worlds=N_WORLDS, seed=WORLD_SEED, backend=backend
+    )
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    @pytest.mark.parametrize("discount", [None, 0.9])
+    def test_budget_matches_legacy_kwargs(self, backend, discount):
+        spec = RunSpec(
+            ensemble=ensemble_spec(),
+            solver=SolverSpec(
+                problem="budget",
+                deadline=DEADLINE,
+                fair=True,
+                budget=4,
+                discount=discount,
+            ),
+            execution=ExecutionSpec(backend=backend),
+        )
+        result = Session().solve(spec)
+        legacy = solve_fair_tcim_budget(
+            legacy_ensemble(backend), 4, DEADLINE, discount=discount
+        )
+        assert list(result.seeds) == legacy.seeds
+        np.testing.assert_array_equal(
+            result.trace.final_group_utilities, legacy.trace.final_group_utilities
+        )
+        np.testing.assert_array_equal(
+            np.asarray(result.group_utilities), legacy.report.utilities
+        )
+        assert result.objective == legacy.trace.final_objective
+
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_unfair_budget_matches_legacy_kwargs(self, backend):
+        spec = RunSpec(
+            ensemble=ensemble_spec(),
+            solver=SolverSpec(
+                problem="budget", deadline=DEADLINE, fair=False, budget=4
+            ),
+            execution=ExecutionSpec(backend=backend),
+        )
+        result = Session().solve(spec)
+        legacy = solve_tcim_budget(legacy_ensemble(backend), 4, DEADLINE)
+        assert list(result.seeds) == legacy.seeds
+        np.testing.assert_array_equal(
+            np.asarray(result.group_utilities), legacy.report.utilities
+        )
+
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_cover_matches_legacy_kwargs(self, backend):
+        spec = RunSpec(
+            ensemble=ensemble_spec(),
+            solver=SolverSpec(
+                problem="cover", deadline=math.inf, fair=True, quota=0.15
+            ),
+            execution=ExecutionSpec(backend=backend),
+        )
+        result = Session().solve(spec)
+        legacy = solve_fair_tcim_cover(legacy_ensemble(backend), 0.15, math.inf)
+        assert list(result.seeds) == legacy.seeds
+        np.testing.assert_array_equal(
+            np.asarray(result.group_utilities), legacy.report.utilities
+        )
+        assert result.problem == legacy.problem
+
+    def test_dict_input_equals_spec_input(self):
+        spec = RunSpec(
+            ensemble=ensemble_spec(),
+            solver=SolverSpec(problem="budget", deadline=DEADLINE, budget=3),
+        )
+        session = Session()
+        a = session.solve(spec)
+        b = session.solve(spec.to_dict())
+        assert a.seeds == b.seeds
+        assert a.group_utilities == b.group_utilities
+
+
+class TestEnsembleCache:
+    def test_solve_many_shares_worlds(self):
+        session = Session()
+        shared = ensemble_spec()
+        specs = [
+            RunSpec(
+                ensemble=shared,
+                solver=SolverSpec(problem="budget", deadline=DEADLINE, budget=b),
+            )
+            for b in (2, 3, 4)
+        ]
+        results = session.solve_many(specs)
+        assert session.cache_misses == 1
+        assert session.cache_hits == 2
+        first = results[0].solution.ensemble
+        assert all(r.solution.ensemble is first for r in results)
+        assert [r.ensemble_cached for r in results] == [False, True, True]
+        # Greedy nesting on shared worlds: smaller budgets are prefixes.
+        assert list(results[0].seeds) == list(results[2].seeds)[:2]
+
+    def test_equal_specs_different_objects_share(self):
+        session = Session()
+        r1 = session.solve(
+            RunSpec(
+                ensemble=ensemble_spec(),
+                solver=SolverSpec(problem="budget", deadline=DEADLINE, budget=2),
+            )
+        )
+        r2 = session.solve(
+            RunSpec(
+                ensemble=ensemble_spec(),  # equal by value, not identity
+                solver=SolverSpec(problem="cover", deadline=math.inf, quota=0.1),
+            )
+        )
+        assert r1.solution.ensemble is r2.solution.ensemble
+
+    def test_backend_is_part_of_the_key(self):
+        session = Session()
+        spec = ensemble_spec()
+        dense = session.ensemble_for(spec, ExecutionSpec(backend="dense"))
+        sparse = session.ensemble_for(spec, ExecutionSpec(backend="sparse"))
+        assert dense is not sparse
+        assert dense.backend_name == "dense"
+        assert sparse.backend_name == "sparse"
+        assert session.cache_info["entries"] == 2
+
+    def test_lru_eviction(self):
+        session = Session(max_cached_ensembles=1)
+        session.ensemble_for(ensemble_spec(), ExecutionSpec(backend="dense"))
+        session.ensemble_for(ensemble_spec(), ExecutionSpec(backend="lazy"))
+        assert session.cache_info["entries"] == 1
+
+    def test_clear_cache(self):
+        session = Session()
+        session.ensemble_for(ensemble_spec())
+        session.clear_cache()
+        assert session.cache_info["entries"] == 0
+
+
+class TestConfigChain:
+    def test_spec_beats_session_beats_process(self):
+        session = Session(execution=ExecutionSpec(backend="sparse", block_size=8))
+        with execution_defaults.override("backend", "lazy"):
+            resolved = session.resolve_execution(ExecutionSpec(backend="dense"))
+            assert resolved.backend == "dense"  # spec wins
+            resolved = session.resolve_execution(ExecutionSpec())
+            assert resolved.backend == "sparse"  # session beats process
+            assert resolved.block_size == 8
+        plain = Session()
+        with execution_defaults.override("backend", "lazy"):
+            assert plain.resolve_execution().backend == "lazy"  # process
+        assert plain.resolve_execution().backend == "auto"  # library default
+
+    def test_result_echoes_fully_resolved_spec(self):
+        session = Session()
+        result = session.solve(
+            RunSpec(
+                ensemble=ensemble_spec(),
+                solver=SolverSpec(problem="budget", deadline=DEADLINE, budget=2),
+                execution=ExecutionSpec(backend="auto"),
+            )
+        )
+        echo = result.spec.execution
+        assert echo.backend in BACKEND_NAMES  # "auto" resolved to a real store
+        assert isinstance(echo.workers, int) and echo.workers >= 1
+        assert isinstance(echo.block_size, int) and echo.block_size >= 1
+        # The echoed spec is still a valid, serializable RunSpec.
+        assert RunSpec.from_json(result.spec.to_json()) == result.spec
+
+    def test_result_to_dict_is_json_safe(self):
+        import json
+
+        result = Session().solve(
+            RunSpec(
+                ensemble=ensemble_spec(),
+                solver=SolverSpec(problem="budget", deadline=DEADLINE, budget=2),
+            )
+        )
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["seed_count"] == 2
+        assert payload["timings"]["ensemble_cached"] is False
+        assert payload["spec"]["solver"]["budget"] == 2
+
+
+class TestEstimatorFactory:
+    def test_kinds_registered(self):
+        from repro.influence.factory import estimator_kinds
+
+        assert set(estimator_kinds()) >= {"worlds", "rrset"}
+
+    def test_worlds_kind_builds_world_ensemble(self):
+        from repro.influence.factory import make_estimator
+
+        spec = ensemble_spec(model="ic")
+        graph, groups = synthetic_sbm(seed=DATASET_SEED, **SYN_PARAMS)
+        estimator = make_estimator(spec, graph, groups, backend="dense")
+        assert isinstance(estimator, WorldEnsemble)
+        assert estimator.n_worlds == N_WORLDS
+        assert estimator.backend_name == "dense"
+
+    def test_rrset_kind_reachable_but_unimplemented(self):
+        spec = RunSpec(
+            ensemble=ensemble_spec(kind="rrset"),
+            solver=SolverSpec(problem="budget", deadline=DEADLINE, budget=2),
+        )
+        with pytest.raises(EstimationError, match="RR-set estimator"):
+            Session().solve(spec)
+
+    def test_duplicate_registration_rejected(self):
+        from repro.influence import factory
+
+        with pytest.raises(EstimationError, match="already registered"):
+            factory.register_estimator("worlds", lambda *a, **k: None)
+
+    def test_register_and_unregister_custom_kind(self):
+        from repro.influence import factory
+
+        calls = []
+
+        def builder(spec, graph, assignment, **kwargs):
+            calls.append(kwargs["backend"])
+            return "estimator"
+
+        factory.register_estimator("test-kind", builder)
+        try:
+            spec = ensemble_spec(kind="test-kind")
+            graph, groups = synthetic_sbm(seed=0, n=20)
+            out = factory.make_estimator(spec, graph, groups, backend="dense")
+            assert out == "estimator" and calls == ["dense"]
+        finally:
+            del factory._BUILDERS["test-kind"]
+
+
+class TestDeprecationShims:
+    def test_backend_shim_warns_and_delegates(self):
+        from repro.experiments.common import get_default_backend, set_default_backend
+
+        previous = execution_defaults.get("backend")
+        try:
+            with pytest.warns(DeprecationWarning, match="set_default_backend"):
+                set_default_backend("sparse")
+            assert get_default_backend() == "sparse"
+            assert execution_defaults.get("backend") == "sparse"
+        finally:
+            if previous is None:
+                execution_defaults.unset("backend")
+            else:
+                execution_defaults.set("backend", previous)
+
+    def test_backend_shim_validates_before_warning(self):
+        from repro.experiments.common import get_default_backend, set_default_backend
+
+        before = get_default_backend()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a warning would fail the test
+            with pytest.raises(ConfigError):
+                set_default_backend("tensorflow")
+        assert get_default_backend() == before
+
+    def test_block_size_shim_warns_and_delegates(self):
+        from repro.core.greedy import get_default_block_size, set_default_block_size
+
+        previous = execution_defaults.get("block_size")
+        try:
+            with pytest.warns(DeprecationWarning, match="set_default_block_size"):
+                set_default_block_size(32)
+            assert get_default_block_size() == 32
+        finally:
+            if previous is None:
+                execution_defaults.unset("block_size")
+            else:
+                execution_defaults.set("block_size", previous)
+
+    def test_shims_are_thread_safe(self):
+        from repro.core.greedy import get_default_block_size, set_default_block_size
+
+        previous = execution_defaults.get("block_size")
+        valid = set(range(2, 10))
+        errors = []
+
+        def hammer(value):
+            try:
+                for _ in range(50):
+                    with warnings.catch_warnings():
+                        warnings.simplefilter("ignore", DeprecationWarning)
+                        set_default_block_size(value)
+                    got = get_default_block_size()
+                    if got not in valid:
+                        errors.append(got)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(v,)) for v in valid]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        try:
+            assert not errors
+            assert get_default_block_size() in valid
+        finally:
+            if previous is None:
+                execution_defaults.unset("block_size")
+            else:
+                execution_defaults.set("block_size", previous)
+
+    def test_scoped_override_restores(self):
+        from repro.experiments.common import get_default_backend, use_backend
+
+        before = get_default_backend()
+        with use_backend("lazy"):
+            assert get_default_backend() == "lazy"
+        assert get_default_backend() == before
+
+
+class TestExperimentBuildEnsemble:
+    def test_build_ensemble_routes_through_default_session(self):
+        from repro.api.session import default_session
+        from repro.experiments.common import build_ensemble
+
+        graph, groups = synthetic_sbm(seed=0, n=40)
+        session = default_session()
+        before = session.cache_info
+        first = build_ensemble(graph, groups, n_worlds=3, seed=5)
+        again = build_ensemble(graph, groups, n_worlds=3, seed=5)
+        assert first is again  # same graph object + params -> shared worlds
+        after = session.cache_info
+        assert after["hits"] >= before["hits"] + 1
+        different = build_ensemble(graph, groups, n_worlds=4, seed=5)
+        assert different is not first
+
+    def test_build_ensemble_respects_explicit_backend(self):
+        from repro.experiments.common import build_ensemble
+
+        graph, groups = synthetic_sbm(seed=0, n=40)
+        ensemble = build_ensemble(
+            graph, groups, n_worlds=3, seed=5, backend="sparse"
+        )
+        assert ensemble.backend_name == "sparse"

@@ -1,7 +1,11 @@
 """Unit tests for the command-line interface."""
 
+import io
+import json
+
 import pytest
 
+from repro.api import EnsembleSpec, RunSpec, SolverSpec
 from repro.cli import build_parser, main
 from repro.errors import ConfigError
 from repro.experiments.registry import (
@@ -107,3 +111,132 @@ class TestMain:
     def test_run_unknown_experiment(self):
         with pytest.raises(ConfigError):
             main(["run", "nope", "--quick"])
+
+
+def tiny_spec() -> RunSpec:
+    """A subsecond budget spec for CLI solve tests."""
+    return RunSpec(
+        ensemble=EnsembleSpec(
+            dataset="synthetic",
+            dataset_params={"n": 60, "activation_probability": 0.08},
+            n_worlds=4,
+            world_seed=3,
+        ),
+        solver=SolverSpec(problem="budget", deadline=10.0, budget=2),
+    )
+
+
+class TestSpecSubcommand:
+    def test_init_emits_a_valid_runnable_spec(self, capsys):
+        assert main(["spec", "init"]) == 0
+        out = capsys.readouterr().out
+        spec = RunSpec.from_json(out)
+        assert spec.solver.problem == "budget"
+
+    def test_init_cover_variant(self, capsys):
+        assert main(["spec", "init", "--problem", "cover"]) == 0
+        spec = RunSpec.from_json(capsys.readouterr().out)
+        assert spec.solver.problem == "cover"
+        assert spec.solver.quota is not None
+
+    def test_init_out_then_validate(self, tmp_path, capsys):
+        target = tmp_path / "spec.json"
+        assert main(["spec", "init", "--out", str(target)]) == 0
+        assert main(["spec", "validate", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out
+
+    def test_init_unwritable_out_is_a_friendly_error(self, tmp_path, capsys):
+        target = tmp_path / "missing-dir" / "spec.json"
+        assert main(["spec", "init", "--out", str(target)]) == 2
+        assert "error: cannot write spec" in capsys.readouterr().err
+
+    def test_validate_flags_bad_specs(self, tmp_path, capsys):
+        good = tmp_path / "good.json"
+        good.write_text(tiny_spec().to_json())
+        bad = tmp_path / "bad.json"
+        bad.write_text(
+            '{"version": 1, "ensemble": {"dataset": "nope"}, '
+            '"solver": {"problem": "budget", "deadline": 10, "budget": 2}}'
+        )
+        assert main(["spec", "validate", str(good), str(bad)]) == 2
+        captured = capsys.readouterr()
+        assert "ok" in captured.out
+        assert "FAIL" in captured.err and "nope" in captured.err
+
+
+class TestSolveSubcommand:
+    def test_solve_spec_file(self, tmp_path, capsys):
+        path = tmp_path / "run.json"
+        path.write_text(tiny_spec().to_json())
+        assert main(["solve", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "FAIRTCIM-BUDGET" in out
+        assert "seeds (2)" in out
+
+    def test_solve_json_output(self, tmp_path, capsys):
+        path = tmp_path / "run.json"
+        path.write_text(tiny_spec().to_json())
+        assert main(["solve", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 1
+        assert payload[0]["seed_count"] == 2
+        # The echoed spec is fully resolved and re-loadable.
+        RunSpec.from_dict(payload[0]["spec"])
+
+    def test_solve_stdin(self, capsys, monkeypatch):
+        monkeypatch.setattr("sys.stdin", io.StringIO(tiny_spec().to_json()))
+        assert main(["solve", "-"]) == 0
+        assert "FAIRTCIM-BUDGET" in capsys.readouterr().out
+
+    def test_solve_shares_ensembles_across_specs(self, tmp_path, capsys):
+        spec = tiny_spec()
+        a = tmp_path / "a.json"
+        a.write_text(spec.to_json())
+        b = tmp_path / "b.json"
+        b.write_text(spec.to_json())
+        assert main(["solve", str(a), str(b), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        cached = [r["timings"]["ensemble_cached"] for r in payload]
+        assert cached == [False, True]
+
+    def test_missing_file_is_a_friendly_error(self, capsys):
+        assert main(["solve", "no-such-spec.json"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "no-such-spec.json" in err
+
+    def test_invalid_spec_is_a_friendly_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 1, "solver": {}}')
+        assert main(["solve", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_execution_flags_form_the_session_default(self, tmp_path, capsys):
+        path = tmp_path / "run.json"
+        path.write_text(tiny_spec().to_json())
+        assert main(["solve", str(path), "--backend", "sparse", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["spec"]["execution"]["backend"] == "sparse"
+
+
+class TestNumericFlagValidation:
+    def test_bad_seed_is_a_usage_error(self, capsys):
+        for bad in ("-1", "two"):
+            with pytest.raises(SystemExit) as excinfo:
+                build_parser().parse_args(["run", "fig1", "--seed", bad])
+            assert excinfo.value.code == 2
+        assert "seed must be a non-negative integer" in capsys.readouterr().err
+
+    def test_bad_block_size_is_a_usage_error(self, capsys):
+        for bad in ("0", "-4", "huge"):
+            with pytest.raises(SystemExit) as excinfo:
+                build_parser().parse_args(["run", "fig1", "--block-size", bad])
+            assert excinfo.value.code == 2
+        assert "block_size" in capsys.readouterr().err
+
+    def test_valid_values_accepted(self):
+        args = build_parser().parse_args(
+            ["run", "fig1", "--seed", "3", "--block-size", "16", "--workers", "2"]
+        )
+        assert (args.seed, args.block_size, args.workers) == (3, 16, 2)

@@ -59,12 +59,25 @@ class TestWorkerResolution:
         assert resolve_workers(16, 4) == 4
 
     def test_none_defers_to_default(self):
-        previous = get_default_workers()
-        try:
-            set_default_workers(3)
+        from repro.config import execution_defaults
+
+        with execution_defaults.override("workers", 3):
+            assert get_default_workers() == 3
             assert resolve_workers(None, 100) == 3
+
+    def test_set_default_workers_is_a_deprecation_shim(self):
+        from repro.config import execution_defaults
+
+        previous = execution_defaults.get("workers")
+        try:
+            with pytest.warns(DeprecationWarning, match="set_default_workers"):
+                set_default_workers(3)
+            assert get_default_workers() == 3
         finally:
-            set_default_workers(previous)
+            if previous is None:
+                execution_defaults.unset("workers")
+            else:
+                execution_defaults.set("workers", previous)
 
     def test_check_rejects_bad_values(self):
         for bad in (0, -1, 2.5, "fast", True):
@@ -85,12 +98,11 @@ class TestWorkerResolution:
 
     def test_set_default_rejects_bad_values(self):
         previous = get_default_workers()
-        try:
-            with pytest.raises(EstimationError):
-                set_default_workers(0)
-            assert get_default_workers() == previous
-        finally:
-            set_default_workers(previous)
+        # Validation runs before the deprecation warning fires, so a
+        # bad value neither warns nor writes the store.
+        with pytest.raises(EstimationError):
+            set_default_workers(0)
+        assert get_default_workers() == previous
 
 
 class TestWorkerPool:
