@@ -128,10 +128,15 @@ class RunResult:
     def as_text(self) -> str:
         """Human-readable summary (what ``repro solve`` prints)."""
         execution = self.spec.execution
+        estimator = (
+            f"{self.spec.ensemble.n_worlds} worlds"
+            if self.spec.ensemble.kind == "worlds"
+            else f"{self.spec.ensemble.kind} estimator"
+        )
         lines = [
             f"{self.problem} on {self.spec.ensemble.dataset!r} "
             f"[{execution.backend} backend, "
-            f"{self.spec.ensemble.n_worlds} worlds, "
+            f"{estimator}, "
             f"workers={execution.workers}, block_size={execution.block_size}]",
             f"  seeds ({self.seed_count}): "
             f"{[_jsonify_label(s) for s in self.seeds]}",

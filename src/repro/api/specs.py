@@ -119,6 +119,14 @@ class EnsembleSpec:
     a spec plus its two seeds fully determines the sampled worlds, so
     equal specs share ensembles (:meth:`fingerprint` is the session
     cache key) and a JSON file replays the exact run.
+
+    ``epsilon`` / ``delta`` / ``theta`` / ``max_theta`` configure the
+    adaptive RR-set sampler and therefore only apply to
+    ``kind="rrset"`` — naming one under ``kind="worlds"`` is rejected
+    so the echoed spec never carries a knob the run ignored.  ``theta``
+    pins the sample count outright, which conflicts with the adaptive
+    knobs; ``kind="rrset"`` also requires ``model="ic"`` (RR sampling
+    flips independent edge coins — exactly IC's live-edge measure).
     """
 
     dataset: str
@@ -129,6 +137,10 @@ class EnsembleSpec:
     model: str = "ic"
     world_seed: int = 0
     candidates: Optional[Tuple[Any, ...]] = None
+    epsilon: Optional[float] = None
+    delta: Optional[float] = None
+    theta: Optional[int] = None
+    max_theta: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.dataset not in dataset_names():
@@ -180,6 +192,53 @@ class EnsembleSpec:
             object.__setattr__(
                 self, "candidates", _jsonable(candidates, "candidates")
             )
+        rr_knobs = {
+            "epsilon": self.epsilon,
+            "delta": self.delta,
+            "theta": self.theta,
+            "max_theta": self.max_theta,
+        }
+        named = [name for name, value in rr_knobs.items() if value is not None]
+        if named and self.kind == "worlds":
+            raise ConfigError(
+                f"{', '.join(named)} only applies to kind='rrset' "
+                f"(kind='worlds' would ignore it)"
+            )
+        if self.kind == "rrset" and self.model != "ic":
+            raise ConfigError(
+                "kind='rrset' requires model='ic' (RR-set sampling is "
+                f"IC-only), got model={self.model!r}"
+            )
+        for name in ("epsilon", "delta"):
+            value = rr_knobs[name]
+            if value is None:
+                continue
+            if (
+                isinstance(value, bool)
+                or not isinstance(value, (int, float))
+                or not 0.0 < value < 1.0
+            ):
+                raise ConfigError(f"{name} must be in (0, 1), got {value!r}")
+            object.__setattr__(self, name, float(value))
+        for name in ("theta", "max_theta"):
+            value = rr_knobs[name]
+            if value is None:
+                continue
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ConfigError(f"{name} must be an int, got {value!r}")
+            if value < 1:
+                raise ConfigError(f"{name} must be >= 1, got {value}")
+        if self.theta is not None:
+            adaptive = [
+                name
+                for name in ("epsilon", "delta", "max_theta")
+                if rr_knobs[name] is not None
+            ]
+            if adaptive:
+                raise ConfigError(
+                    f"theta pins the RR sample count; it conflicts with the "
+                    f"adaptive knob(s) {', '.join(adaptive)}"
+                )
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -191,6 +250,10 @@ class EnsembleSpec:
             "model": self.model,
             "world_seed": self.world_seed,
             "candidates": None if self.candidates is None else list(self.candidates),
+            "epsilon": self.epsilon,
+            "delta": self.delta,
+            "theta": self.theta,
+            "max_theta": self.max_theta,
         }
 
     @classmethod
@@ -440,6 +503,11 @@ class RunSpec:
             raise ConfigError(
                 f"execution must be an ExecutionSpec, got "
                 f"{type(self.execution).__name__}"
+            )
+        if self.ensemble.kind == "rrset" and self.solver.discount is not None:
+            raise ConfigError(
+                "discount requires kind='worlds': the RR-set estimator "
+                "records reachability within tau, not activation times"
             )
 
     def to_dict(self) -> Dict[str, Any]:

@@ -14,7 +14,10 @@ non-zero when any shape check fails, so it doubles as a reproduction
 smoke test.  ``solve`` is the declarative path: it reads
 :class:`repro.api.RunSpec` JSON files (``-`` for stdin) and runs them
 through one :class:`repro.api.Session`, so several specs over the same
-ensemble share worlds.  ``spec init`` emits a runnable template —
+ensemble share worlds.  Specs pick their estimator with
+``ensemble.kind`` — ``"worlds"`` (the default live-edge ensemble) or
+``"rrset"`` (adaptive reverse-reachable sets; see
+``examples/spec_rrset.json``).  ``spec init`` emits a runnable template —
 ``repro spec init | repro solve -`` is the zero-to-result pipeline —
 and ``spec validate`` lints spec files without running them (CI lints
 the committed examples this way).

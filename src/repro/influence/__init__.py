@@ -1,6 +1,6 @@
 """Influence estimation: the time-critical utility ``f_tau`` (Eq. 1).
 
-Three estimators, all agreeing in expectation:
+Four estimators, all agreeing in expectation:
 
 - :class:`~repro.influence.ensemble.WorldEnsemble` — the workhorse:
   common-random-numbers estimation over ``R`` pre-sampled live-edge
@@ -10,6 +10,11 @@ Three estimators, all agreeing in expectation:
   (:mod:`~repro.influence.backends`): ``dense`` tensor, ``sparse`` CSR,
   on-demand ``lazy`` rows, or ``auto`` selection by memory footprint —
   all bit-identical in output.
+- :class:`~repro.influence.rrsets.RRSetEstimator` — group-tagged
+  reverse-reachable sets with IMM/OPIM-style adaptive sampling
+  (``EnsembleSpec(kind="rrset")``): the scalable path when a full
+  distance tensor will not fit, with the per-group surface the fair
+  objectives need.
 - :func:`~repro.influence.montecarlo.monte_carlo_utility` — naive
   forward-simulation Monte Carlo (the authors' estimator); used for
   cross-validation.
@@ -18,10 +23,9 @@ Three estimators, all agreeing in expectation:
   the ground truth for tests and for the Figure-1 example.
 
 Solvers are typed against the
-:class:`~repro.influence.backends.UtilityEstimator` protocol, so
-future estimators (e.g. RIS sketches, :mod:`~repro.influence.rrsets`)
-can slot in without touching the solver layer.  Deadline rounding is
-defined once in :mod:`~repro.influence.deadlines`.
+:class:`~repro.influence.backends.UtilityEstimator` protocol, so any
+estimator slots in without touching the solver layer.  Deadline
+rounding is defined once in :mod:`~repro.influence.deadlines`.
 
 Plus the fairness measurements of Section 4:
 :func:`~repro.influence.utility.disparity` implements Eq. 2.
@@ -57,7 +61,14 @@ from repro.influence.factory import (
     register_estimator,
 )
 from repro.influence.montecarlo import monte_carlo_group_utilities, monte_carlo_utility
-from repro.influence.rrsets import RRCollection, ris_greedy, sample_rr_sets
+from repro.influence.rrsets import (
+    RRCollection,
+    RRSetEstimator,
+    RRState,
+    build_rrset_estimator,
+    ris_greedy,
+    sample_rr_sets,
+)
 from repro.influence.utility import (
     UtilityReport,
     disparity,
@@ -95,6 +106,9 @@ __all__ = [
     "monte_carlo_utility",
     "monte_carlo_group_utilities",
     "RRCollection",
+    "RRSetEstimator",
+    "RRState",
+    "build_rrset_estimator",
     "sample_rr_sets",
     "ris_greedy",
     "disparity",

@@ -87,10 +87,11 @@ class UtilityEstimator(Protocol):
     """What the solvers need from an influence estimator.
 
     :class:`~repro.influence.ensemble.WorldEnsemble` satisfies this for
-    every distance backend; alternative estimators (e.g. a future
-    RIS-sketch estimator) can implement it directly and plug into
-    ``lazy_greedy`` / ``plain_greedy`` / the budget and cover solvers
-    unchanged.
+    every distance backend, and
+    :class:`~repro.influence.rrsets.RRSetEstimator` satisfies it from
+    group-tagged RR sets — both plug into ``lazy_greedy`` /
+    ``plain_greedy`` / the budget and cover solvers unchanged, as can
+    any further estimator implementing the same surface.
     """
 
     group_names: List[Hashable]

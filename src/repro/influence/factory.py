@@ -15,13 +15,12 @@ Two kinds ship today:
     :class:`~repro.influence.ensemble.WorldEnsemble` — the workhorse
     behind every paper experiment, under any distance backend.
 ``"rrset"``
-    The reverse-reachable-set estimator.  The sampling and max-cover
-    skeleton exists (:mod:`repro.influence.rrsets`); the
-    ``UtilityEstimator`` protocol implementation is a ROADMAP item, so
-    this kind currently raises a descriptive
-    :class:`~repro.errors.EstimationError` — the registry contract is
-    live, and the day the IMM estimator lands only its builder body
-    changes.
+    The group-tagged reverse-reachable-set estimator
+    (:class:`~repro.influence.rrsets.RRSetEstimator`): IMM/OPIM-style
+    adaptive sampling with per-group coverage counts, the scalable
+    alternative when a full distance tensor will not fit.  IC model
+    only, no ``discount`` support; see the module docs for its
+    ``epsilon`` / ``delta`` / ``theta`` knobs.
 
 Builders receive the spec plus an already-built ``(graph, assignment)``
 pair — dataset resolution happens a layer up (specs name datasets;
@@ -130,9 +129,6 @@ def _build_world_ensemble(
 
 register_estimator("worlds", _build_world_ensemble)
 
-# Route the RR-set skeleton through the same registry so
-# EnsembleSpec(kind="rrset") dispatches there today (and starts
-# returning a real estimator the day the IMM builder lands).
 from repro.influence.rrsets import build_rrset_estimator  # noqa: E402
 
 register_estimator("rrset", build_rrset_estimator)

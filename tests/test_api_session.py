@@ -248,13 +248,41 @@ class TestEstimatorFactory:
         assert estimator.n_worlds == N_WORLDS
         assert estimator.backend_name == "dense"
 
-    def test_rrset_kind_reachable_but_unimplemented(self):
+    def test_rrset_kind_builds_rrset_estimator(self):
+        from repro.influence.factory import make_estimator
+        from repro.influence.rrsets import RRSetEstimator
+
+        spec = ensemble_spec(kind="rrset", theta=500)
+        graph, groups = synthetic_sbm(seed=DATASET_SEED, **SYN_PARAMS)
+        estimator = make_estimator(spec, graph, groups)
+        assert isinstance(estimator, RRSetEstimator)
+        assert estimator.fixed_theta == 500
+        # No backend_name: the session echo must keep reporting the
+        # *distance* backend choice, which rrset runs never consume.
+        assert not hasattr(estimator, "backend_name")
+
+    def test_rrset_kind_solves_end_to_end(self):
         spec = RunSpec(
             ensemble=ensemble_spec(kind="rrset"),
             solver=SolverSpec(problem="budget", deadline=DEADLINE, budget=2),
         )
-        with pytest.raises(EstimationError, match="RR-set estimator"):
-            Session().solve(spec)
+        result = Session().solve(spec)
+        assert result.seed_count == 2
+        assert result.total_fraction > 0
+        assert "rrset estimator" in result.as_text()
+
+    def test_rrset_kind_rejects_lt_model(self):
+        with pytest.raises(ConfigError, match="model='ic'"):
+            ensemble_spec(kind="rrset", model="lt")
+
+    def test_rrset_discount_rejected_at_spec_level(self):
+        with pytest.raises(ConfigError, match="discount"):
+            RunSpec(
+                ensemble=ensemble_spec(kind="rrset"),
+                solver=SolverSpec(
+                    problem="budget", deadline=DEADLINE, budget=2, discount=0.9
+                ),
+            )
 
     def test_duplicate_registration_rejected(self):
         from repro.influence import factory

@@ -152,10 +152,53 @@ class TestEnsembleSpecValidation:
             EnsembleSpec(dataset="synthetic", kind="psychic")
 
     def test_rrset_kind_is_a_valid_spec(self):
-        # The kind is registered (construction fails later, at the
-        # factory) — specs naming it must validate and round-trip.
         spec = EnsembleSpec(dataset="synthetic", kind="rrset")
         assert EnsembleSpec.from_dict(spec.to_dict()) == spec
+
+    def test_rrset_knobs_round_trip(self):
+        spec = EnsembleSpec(
+            dataset="synthetic", kind="rrset", epsilon=0.2, delta=0.01
+        )
+        assert EnsembleSpec.from_dict(spec.to_dict()) == spec
+        pinned = EnsembleSpec(dataset="synthetic", kind="rrset", theta=5000)
+        assert EnsembleSpec.from_dict(pinned.to_dict()) == pinned
+
+    def test_rrset_knobs_rejected_for_worlds(self):
+        # kind="worlds" ignores the sampler knobs, so naming one is an
+        # error — the echoed spec must describe the run that happened.
+        for knob in (
+            {"epsilon": 0.1},
+            {"delta": 0.01},
+            {"theta": 100},
+            {"max_theta": 1000},
+        ):
+            with pytest.raises(ConfigError, match="rrset"):
+                EnsembleSpec(dataset="synthetic", **knob)
+
+    def test_rrset_knob_ranges(self):
+        for bad in ({"epsilon": 0.0}, {"epsilon": 1.0}, {"epsilon": "x"}):
+            with pytest.raises(ConfigError, match="epsilon"):
+                EnsembleSpec(dataset="synthetic", kind="rrset", **bad)
+        with pytest.raises(ConfigError, match="delta"):
+            EnsembleSpec(dataset="synthetic", kind="rrset", delta=2.0)
+        with pytest.raises(ConfigError, match="theta"):
+            EnsembleSpec(dataset="synthetic", kind="rrset", theta=0)
+        with pytest.raises(ConfigError, match="max_theta"):
+            EnsembleSpec(dataset="synthetic", kind="rrset", max_theta=True)
+
+    def test_theta_conflicts_with_adaptive_knobs(self):
+        with pytest.raises(ConfigError, match="conflicts"):
+            EnsembleSpec(
+                dataset="synthetic", kind="rrset", theta=100, epsilon=0.1
+            )
+        with pytest.raises(ConfigError, match="conflicts"):
+            EnsembleSpec(
+                dataset="synthetic", kind="rrset", theta=100, max_theta=200
+            )
+
+    def test_rrset_requires_ic_model(self):
+        with pytest.raises(ConfigError, match="model='ic'"):
+            EnsembleSpec(dataset="synthetic", kind="rrset", model="lt")
 
     def test_bad_worlds_model_seeds(self):
         with pytest.raises(ConfigError, match="n_worlds"):

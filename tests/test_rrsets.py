@@ -46,6 +46,89 @@ class TestSampling:
             sample_rr_sets(DiGraph(), deadline=1, count=5)
 
 
+class TestDeadlineSemantics:
+    """The sampler follows the library-wide deadline rules."""
+
+    def test_nan_deadline_is_an_estimation_error(self):
+        # Regression: NaN used to slip past the `deadline < 0` guard
+        # and surface as a bare ValueError from int(nan).
+        graph = path_graph(3)
+        with pytest.raises(EstimationError):
+            sample_rr_sets(graph, deadline=float("nan"), count=5)
+
+    def test_fractional_deadline_floors_like_clip_deadline(self):
+        # floor(2.5) == 2, so tau=2.5 and tau=2 draw identical sets.
+        graph = path_graph(6, activation_probability=0.7)
+        frac = sample_rr_sets(graph, deadline=2.5, count=100, seed=3)
+        whole = sample_rr_sets(graph, deadline=2, count=100, seed=3)
+        assert frac.sets == whole.sets
+
+    def test_infinite_deadline_reaches_everything(self):
+        graph = path_graph(5, activation_probability=1.0)
+        collection = sample_rr_sets(graph, deadline=math.inf, count=50, seed=4)
+        # Target at index i has i+1 reverse-reachable nodes on a chain.
+        assert any(len(rr) == 5 for rr in collection.sets)
+        assert collection.estimate([0]) == 5.0
+
+
+def _reference_ris_greedy(collection, budget, candidates=None):
+    """The pre-CELF full-rescan selection, kept as the tie oracle."""
+    graph = collection.graph
+    pool = graph.nodes() if candidates is None else list(candidates)
+    pool_idx = [int(i) for i in graph.indices_of(pool)]
+    coverage = {c: [] for c in pool_idx}
+    for set_id, rr in enumerate(collection.sets):
+        for node in rr:
+            if node in coverage:
+                coverage[node].append(set_id)
+    import numpy as np
+
+    covered = np.zeros(collection.count, dtype=bool)
+    chosen = []
+    for _ in range(budget):
+        best, best_gain = -1, 0
+        for candidate in pool_idx:
+            if candidate in chosen:
+                continue
+            gain = int(np.count_nonzero(~covered[coverage[candidate]]))
+            if gain > best_gain:
+                best, best_gain = candidate, gain
+        if best < 0:
+            break
+        chosen.append(best)
+        covered[coverage[best]] = True
+    return graph.labels_of(chosen)
+
+
+class TestCelfEquivalence:
+    """The lazy heap must reproduce the full rescan bit-for-bit,
+    including first-in-pool-order tie-breaking."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_reference_on_random_graphs(self, seed):
+        graph, _ = two_block_sbm(
+            40, 0.6, 0.2, 0.05, activation_probability=0.3, seed=seed
+        )
+        collection = sample_rr_sets(graph, deadline=3, count=600, seed=seed)
+        seeds, _ = ris_greedy(collection, budget=6)
+        assert seeds == _reference_ris_greedy(collection, budget=6)
+
+    def test_matches_reference_under_heavy_ties(self):
+        # p=1 stars: every leaf has identical coverage, all-tie rounds.
+        graph = star_graph(12, activation_probability=1.0)
+        collection = sample_rr_sets(graph, deadline=1, count=300, seed=5)
+        for budget in (1, 3, 5):
+            seeds, _ = ris_greedy(collection, budget=budget)
+            assert seeds == _reference_ris_greedy(collection, budget=budget)
+
+    def test_matches_reference_with_candidate_pool_order(self):
+        graph = star_graph(10, activation_probability=1.0)
+        collection = sample_rr_sets(graph, deadline=1, count=200, seed=6)
+        pool = [7, 3, 9, 4]  # ties must resolve to the earliest in pool
+        seeds, _ = ris_greedy(collection, budget=2, candidates=pool)
+        assert seeds == _reference_ris_greedy(collection, 2, candidates=pool)
+
+
 class TestEstimation:
     def test_matches_exact_on_chain(self):
         graph = path_graph(4, activation_probability=0.6)
