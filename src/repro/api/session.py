@@ -48,6 +48,10 @@ from repro.influence.parallel import (
     LIBRARY_DEFAULT_WORKERS,
     resolve_workers,
 )
+from repro.influence.procbuild import (
+    LIBRARY_DEFAULT_BUILD_WORKERS,
+    resolve_build_workers,
+)
 
 #: Ensembles a session keeps alive at once (LRU beyond this).  Small on
 #: purpose: each entry can hold a multi-hundred-MiB distance store.
@@ -137,7 +141,8 @@ class RunResult:
             f"{self.problem} on {self.spec.ensemble.dataset!r} "
             f"[{execution.backend} backend, "
             f"{estimator}, "
-            f"workers={execution.workers}, block_size={execution.block_size}]",
+            f"workers={execution.workers}, block_size={execution.block_size}, "
+            f"build_workers={execution.build_workers}]",
             f"  seeds ({self.seed_count}): "
             f"{[_jsonify_label(s) for s in self.seeds]}",
             f"  total fraction {self.total_fraction:.4f}   "
@@ -219,6 +224,7 @@ class Session:
             backend=chain("backend", "auto"),
             workers=chain("workers", LIBRARY_DEFAULT_WORKERS),
             block_size=chain("block_size", DEFAULT_BLOCK_SIZE),
+            build_workers=chain("build_workers", LIBRARY_DEFAULT_BUILD_WORKERS),
         )
 
     # ------------------------------------------------------------------
@@ -234,6 +240,18 @@ class Session:
                 self.cache_misses += 1
             return entry
 
+    @staticmethod
+    def _release(estimator: Any) -> None:
+        """Unlink an evicted entry's shared-memory segments (if any).
+
+        ``unlink_shared`` drops the *names* only — live references keep
+        their mappings until they are collected, so an in-flight solve
+        on the evicted ensemble is unaffected.
+        """
+        unlink = getattr(estimator, "unlink_shared", None)
+        if unlink is not None:
+            unlink()
+
     def _cache_put(self, key: Tuple, estimator: Any) -> Any:
         with self._lock:
             existing = self._ensembles.get(key)
@@ -241,15 +259,24 @@ class Session:
                 # A concurrent builder won the race; share its worlds
                 # (the whole point of the cache) and drop ours.
                 self._ensembles.move_to_end(key)
+                if estimator is not existing:
+                    self._release(estimator)
                 return existing
             self._ensembles[key] = estimator
             while len(self._ensembles) > self.max_cached_ensembles:
-                self._ensembles.popitem(last=False)
+                _, evicted = self._ensembles.popitem(last=False)
+                self._release(evicted)
             return estimator
 
     def clear_cache(self) -> None:
-        """Drop every cached ensemble (counters are kept)."""
+        """Drop every cached ensemble (counters are kept).
+
+        Shared-memory segments backing process-built ensembles are
+        unlinked as their entries drop, same as LRU eviction.
+        """
         with self._lock:
+            for estimator in self._ensembles.values():
+                self._release(estimator)
             self._ensembles.clear()
 
     @property
@@ -297,6 +324,7 @@ class Session:
             assignment,
             backend=resolved.backend,
             workers=resolved.workers,
+            build_workers=resolved.build_workers,
         )
         return self._cache_put(key, estimator), False
 
@@ -310,6 +338,7 @@ class Session:
         model: str = "ic",
         backend: Optional[str] = None,
         workers=None,
+        build_workers=None,
     ) -> WorldEnsemble:
         """Ensemble construction for callers holding a *graph object*
         (the experiment layer), through the same cache and chain.
@@ -320,18 +349,22 @@ class Session:
         the object is collected, which the cache itself prevents).
         Non-integer seeds (generators, ``None``) are inherently
         unreplayable, so those builds bypass the cache.  The requested
-        ``workers`` setting is part of the key: it is perf-only, but
-        sharing one ensemble across different settings would mean
-        mutating the earlier caller's knob under it (``set_workers`` is
-        deliberately not synchronised), so each setting gets its own
-        entry — experiments pass a constant setting, so sharing is
-        unaffected in practice.
+        ``workers`` and ``build_workers`` settings are part of the key:
+        they are perf-only, but sharing one ensemble across different
+        settings would mean mutating the earlier caller's knob under it
+        (``set_workers`` is deliberately not synchronised), so each
+        setting gets its own entry — experiments pass a constant
+        setting, so sharing is unaffected in practice.
         """
         resolved_backend = backend
         if resolved_backend is None:
             resolved_backend = self.execution.backend
         if resolved_backend is None:
             resolved_backend = execution_defaults.get("backend", "auto")
+        # Like backend, build_workers is a build-time knob, so it chains
+        # through the session here (workers is pinned per solve instead).
+        if build_workers is None:
+            build_workers = self.execution.build_workers
 
         cacheable = isinstance(seed, int) and not isinstance(seed, bool)
         key = None
@@ -346,6 +379,7 @@ class Session:
                 None if candidates is None else tuple(candidates),
                 resolved_backend,
                 workers,
+                build_workers,
             )
             cached = self._cache_get(key)
             if cached is not None:
@@ -359,6 +393,7 @@ class Session:
             seed=seed,
             backend=resolved_backend,
             workers=workers,
+            build_workers=build_workers,
         )
         if key is not None:
             ensemble = self._cache_put(key, ensemble)
@@ -420,6 +455,9 @@ class Session:
                     resolved.workers, getattr(estimator, "n_worlds", 1)
                 ),
                 block_size=resolved.block_size,
+                # What the build actually engaged (1 for cached /
+                # serial-fallback / rrset builds), not a re-resolution.
+                build_workers=getattr(estimator, "build_workers_used", 1),
             ),
         )
         report = solution.report

@@ -45,6 +45,7 @@ from repro.errors import ConfigError, EstimationError, OptimizationError
 from repro.influence.backends import check_backend_name
 from repro.influence.factory import estimator_kinds
 from repro.influence.parallel import check_workers
+from repro.influence.procbuild import check_build_workers
 from repro.rng import check_seed
 
 #: Spec schema version written by ``to_dict`` and accepted by
@@ -443,30 +444,35 @@ class SolverSpec:
 
 @dataclass(frozen=True)
 class ExecutionSpec:
-    """How to run a solve — backend / workers / block_size.
+    """How to run a solve — backend / workers / block_size / build_workers.
 
     Pure speed/memory knobs: no field ever changes a seed set, a trace,
     or an estimate (the library's determinism contract), which is why
     they live apart from the result-defining specs.  ``None`` defers
     down the chain: spec > session > process defaults
     (:data:`repro.config.execution_defaults`) > library default.
+    ``workers`` threads the query path; ``build_workers`` process-shards
+    world construction (see :mod:`repro.influence.procbuild`).
     """
 
     backend: Optional[str] = None
     workers: Optional[Union[int, str]] = None
     block_size: Optional[int] = None
+    build_workers: Optional[Union[int, str]] = None
 
     def __post_init__(self) -> None:
         if self.backend is not None:
             _check_with(check_backend_name, self.backend)
         _check_with(check_workers, self.workers, allow_none=True)
         _check_with(check_block_size, self.block_size, allow_none=True)
+        _check_with(check_build_workers, self.build_workers, allow_none=True)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
             "backend": self.backend,
             "workers": self.workers,
             "block_size": self.block_size,
+            "build_workers": self.build_workers,
         }
 
     @classmethod

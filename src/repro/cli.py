@@ -3,11 +3,11 @@
 Usage::
 
     python -m repro.cli list
-    python -m repro.cli run fig4a [--quick] [--seed N] [--backend auto|dense|sparse|lazy] [--block-size N] [--workers N|auto]
+    python -m repro.cli run fig4a [--quick] [--seed N] [--backend auto|dense|sparse|lazy] [--block-size N] [--workers N|auto] [--build-workers N|auto]
     python -m repro.cli run all [--quick]
     python -m repro.cli spec init [--problem budget|cover] [--out FILE]
     python -m repro.cli spec validate FILE [FILE ...]
-    python -m repro.cli solve SPEC [SPEC ...] [--json] [--backend ...] [--workers N|auto] [--block-size N]
+    python -m repro.cli solve SPEC [SPEC ...] [--json] [--backend ...] [--workers N|auto] [--block-size N] [--build-workers N|auto]
 
 ``run`` reproduces the paper's figures/tables; the exit code is
 non-zero when any shape check fails, so it doubles as a reproduction
@@ -42,6 +42,7 @@ from repro.errors import EstimationError, OptimizationError, ReproError
 from repro.experiments.registry import list_experiments, run_experiment
 from repro.influence.backends import BACKEND_CHOICES
 from repro.influence.parallel import AUTO_WORKERS, check_workers
+from repro.influence.procbuild import AUTO_BUILD_WORKERS, check_build_workers
 from repro.core.greedy import DEFAULT_BLOCK_SIZE, check_block_size
 from repro.rng import check_seed
 
@@ -60,6 +61,20 @@ def _workers_arg(value: str):
             pass  # let check_workers produce the canonical message
     try:
         return check_workers(candidate)
+    except EstimationError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _build_workers_arg(value: str):
+    """``--build-workers``: whatever ``check_build_workers`` accepts."""
+    candidate: object = value
+    if value != AUTO_BUILD_WORKERS:
+        try:
+            candidate = int(value)
+        except ValueError:
+            pass  # let check_build_workers produce the canonical message
+    try:
+        return check_build_workers(candidate)
     except EstimationError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from None
 
@@ -188,6 +203,18 @@ def _add_execution_flags(
             "bit-identical at every worker count)"
         ),
     )
+    parser.add_argument(
+        "--build-workers",
+        type=_build_workers_arg,
+        default=None,
+        metavar="N|auto",
+        help=(
+            "worker processes for shared-memory world construction "
+            "(default: the config chain, i.e. serial; 'auto' shards "
+            "across cores when the build is large enough; results are "
+            "bit-identical at every process count)"
+        ),
+    )
 
 
 def _read_spec(path: str) -> RunSpec:
@@ -207,6 +234,8 @@ def _cmd_run(args) -> int:
     # execution_defaults — already validated by the argparse types.
     if args.block_size is not None:
         execution_defaults.set("block_size", args.block_size)
+    if args.build_workers is not None:
+        execution_defaults.set("build_workers", args.build_workers)
     execution_defaults.set("workers", args.workers)
     ids = list_experiments() if args.experiment == "all" else [args.experiment]
     failures = 0
@@ -233,6 +262,7 @@ def _cmd_solve(args) -> int:
             backend=args.backend,
             workers=args.workers,
             block_size=args.block_size,
+            build_workers=args.build_workers,
         )
     )
     results = []

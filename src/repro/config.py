@@ -34,7 +34,7 @@ from typing import Any, Dict, Iterator, Tuple
 #: Knob names the library itself reads.  The store accepts any name
 #: (extensions may register their own), but these are the documented
 #: ones.
-KNOWN_KNOBS: Tuple[str, ...] = ("backend", "workers", "block_size")
+KNOWN_KNOBS: Tuple[str, ...] = ("backend", "workers", "block_size", "build_workers")
 
 _UNSET = object()
 

@@ -129,6 +129,15 @@ def sample_lt_world(graph: DiGraph, seed: RngLike = None) -> LiveEdgeWorld:
     )
 
 
+def sampler_for(model: str):
+    """The per-world sampler for ``model`` ('ic' or 'lt'), validated."""
+    if model == "ic":
+        return sample_ic_world
+    if model == "lt":
+        return sample_lt_world
+    raise EstimationError(f"model must be 'ic' or 'lt', got {model!r}")
+
+
 def sample_worlds(
     graph: DiGraph,
     count: int,
@@ -139,12 +148,7 @@ def sample_worlds(
     if count < 1:
         raise EstimationError(f"need at least one world, got {count}")
     rng = ensure_rng(seed)
-    if model == "ic":
-        sampler = sample_ic_world
-    elif model == "lt":
-        sampler = sample_lt_world
-    else:
-        raise EstimationError(f"model must be 'ic' or 'lt', got {model!r}")
+    sampler = sampler_for(model)
     return [sampler(graph, seed=child) for child in rng.spawn(count)]
 
 

@@ -33,6 +33,7 @@ from repro.graph.groups import GroupAssignment
 from repro.influence.backends import UtilityEstimator, check_backend_name
 from repro.influence.ensemble import InfluenceState, WorldEnsemble
 from repro.influence.parallel import WorkersLike
+from repro.influence.procbuild import BuildWorkersLike
 from repro.core.budget import BudgetSolution, solve_fair_tcim_budget, solve_tcim_budget
 from repro.core.concave import ConcaveFunction, log1p, sqrt
 from repro.core.greedy import SelectionTrace
@@ -124,6 +125,7 @@ def build_ensemble(
     model: str = "ic",
     backend: Optional[str] = None,
     workers: Optional[WorkersLike] = None,
+    build_workers: Optional[BuildWorkersLike] = None,
 ) -> WorldEnsemble:
     """Single point of ensemble construction for every experiment.
 
@@ -137,9 +139,10 @@ def build_ensemble(
     down the config chain (session execution, then the process default
     in :data:`repro.config.execution_defaults` — what the CLI's
     ``--backend`` flag and :func:`use_backend` set); any explicit name
-    wins.  Likewise ``workers=None`` defers to the chain.  Backends
-    and worker counts change memory/speed only — never the estimates —
-    so figures are identical under all of them.
+    wins.  Likewise ``workers=None`` / ``build_workers=None`` defer to
+    the chain.  Backends and worker counts — thread or process — change
+    memory/speed only, never the estimates, so figures are identical
+    under all of them.
     """
     from repro.api.session import default_session
 
@@ -152,6 +155,7 @@ def build_ensemble(
         model=model,
         backend=backend,
         workers=workers,
+        build_workers=build_workers,
     )
 
 

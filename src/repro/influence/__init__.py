@@ -54,6 +54,14 @@ from repro.influence.parallel import (
     set_default_workers,
     shard_slices,
 )
+from repro.influence.procbuild import (
+    AUTO_BUILD_WORKERS,
+    ProcessBuildUnavailable,
+    SharedSegment,
+    check_build_workers,
+    get_default_build_workers,
+    resolve_build_workers,
+)
 from repro.influence.exact import exact_group_utilities, exact_utility
 from repro.influence.factory import (
     estimator_kinds,
@@ -99,6 +107,12 @@ __all__ = [
     "resolve_workers",
     "set_default_workers",
     "shard_slices",
+    "AUTO_BUILD_WORKERS",
+    "ProcessBuildUnavailable",
+    "SharedSegment",
+    "check_build_workers",
+    "get_default_build_workers",
+    "resolve_build_workers",
     "clip_deadline",
     "simulation_horizon",
     "exact_utility",

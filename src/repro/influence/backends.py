@@ -327,7 +327,21 @@ class DenseBackend(DistanceBackend):
         worlds: Sequence[LiveEdgeWorld],
         candidate_indices: np.ndarray,
         n: int,
+        distances: Optional[np.ndarray] = None,
     ) -> None:
+        # ``distances`` lets the process-sharded build layer
+        # (:mod:`repro.influence.procbuild`) hand over an already-built
+        # ``(R, C, n)`` uint8 tensor — typically a zero-copy view into a
+        # shared-memory segment — instead of re-BFSing every world here.
+        if distances is not None:
+            expected = (len(worlds), len(candidate_indices), n)
+            if distances.shape != expected or distances.dtype != np.uint8:
+                raise EstimationError(
+                    f"prebuilt distances must be uint8 with shape {expected}, "
+                    f"got {distances.dtype} {distances.shape}"
+                )
+            self._distances = distances
+            return
         self._distances = np.stack(
             [world.distances_from(candidate_indices) for world in worlds]
         )
@@ -484,6 +498,7 @@ class SparseBackend(DistanceBackend):
         n: int,
         first_world_rows: Optional[sparse.csr_matrix] = None,
         pool: Optional[WorkerPool] = None,
+        rows: Optional[Sequence[sparse.csr_matrix]] = None,
     ) -> None:
         # ``first_world_rows`` lets the "auto" probe hand over world 0's
         # already-built CSR instead of BFSing that world a second time.
@@ -491,7 +506,18 @@ class SparseBackend(DistanceBackend):
         # worker threads (worlds are independent; the frontier matmuls
         # run in scipy's C code) — the result is assembled in world
         # order, so construction is identical at any worker count.
+        # ``rows`` hands over fully prebuilt per-world CSR matrices
+        # (the process-sharded build layer passes zero-copy views into
+        # shared-memory segments) and skips the BFS entirely.
         worlds = list(worlds)
+        if rows is not None:
+            if len(rows) != len(worlds):
+                raise EstimationError(
+                    f"prebuilt rows must have one CSR matrix per world: "
+                    f"got {len(rows)} for {len(worlds)} worlds"
+                )
+            self._rows = list(rows)
+            return
 
         def build(world_slice: slice) -> List[sparse.csr_matrix]:
             return [

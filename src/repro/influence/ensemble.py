@@ -64,7 +64,7 @@ import numpy as np
 from repro.errors import EstimationError
 from repro.graph.digraph import DiGraph, NodeId
 from repro.graph.groups import GroupAssignment
-from repro.diffusion.worlds import UNREACHABLE, LiveEdgeWorld, sample_worlds
+from repro.diffusion.worlds import UNREACHABLE, LiveEdgeWorld, sampler_for
 from repro.influence.backends import (
     DistanceBackend,
     check_backend_name,
@@ -78,6 +78,15 @@ from repro.influence.parallel import (
     effective_workers,
     resolve_workers,
     shard_slices,
+)
+from repro.influence.procbuild import (
+    BuildWorkersLike,
+    ProcessBuildUnavailable,
+    SharedSegment,
+    check_build_workers,
+    process_build,
+    resolve_build_workers,
+    warn_serial_fallback,
 )
 from repro.rng import RngLike, ensure_rng
 
@@ -151,6 +160,23 @@ class WorldEnsemble:
         ``1`` unless the CLI's ``--workers`` or ``REPRO_WORKERS`` set
         it).  Affects wall-clock time only: every estimate, trace and
         sweep is bit-identical at every worker count.
+    build_workers:
+        Worker-*process* count for world **construction** (sampling +
+        distance-store builds, which hold the GIL and therefore cannot
+        scale with threads): a positive int, ``"auto"``
+        (= ``min(available_cpus(), n_worlds)``, gated by a work floor),
+        or ``None`` to defer to the process default
+        (``execution_defaults``, itself ``1`` — fully serial — unless
+        the CLI's ``--build-workers`` or ``REPRO_BUILD_WORKERS`` set
+        it).  With more than one build worker the distance store is
+        published in shared-memory segments (zero-copy for the workers
+        that built it); call :meth:`close` — or use the ensemble as a
+        context manager — to unlink them deterministically.  Like
+        ``workers``, this is a pure speed knob: worlds, stores, traces
+        and estimates are byte-identical at every build-worker count,
+        and the build degrades to the serial path (with a
+        ``RuntimeWarning``) where processes or shared memory are
+        unavailable.
     """
 
     def __init__(
@@ -164,11 +190,15 @@ class WorldEnsemble:
         backend: str = "dense",
         backend_options: Optional[Dict[str, Any]] = None,
         workers: Optional[WorkersLike] = None,
+        build_workers: Optional[BuildWorkersLike] = None,
     ) -> None:
         if n_worlds < 1:
             raise EstimationError(f"n_worlds must be >= 1, got {n_worlds}")
         check_backend_name(backend)  # fail fast, before world sampling
         self._workers_setting = check_workers(workers, allow_none=True)
+        self._build_workers_setting = check_build_workers(
+            build_workers, allow_none=True
+        )
         # Per-thread pin stack for the solvers' workers= knob: each
         # solving thread sees its own pin, so concurrent solves on one
         # shared ensemble never race on (or leak into) the persistent
@@ -195,20 +225,56 @@ class WorldEnsemble:
             label: pos for pos, label in enumerate(candidate_labels)
         }
 
+        # Per-world RNG children, spawned here exactly as the serial
+        # sampler (``sample_worlds``) spawns them — both the process
+        # build and the serial path consume these same generators, so
+        # worlds are byte-identical at every build-worker count and a
+        # failed process build can fall back without re-spawning.
+        sampler = sampler_for(model)  # validates the model up front
         rng = ensure_rng(seed)
-        self.worlds: List[LiveEdgeWorld] = sample_worlds(
-            graph, n_worlds, model=model, seed=rng
+        children = rng.spawn(n_worlds)
+        self._shared_segments: List[SharedSegment] = []
+        self._closed = False
+        built = None
+        n_build = resolve_build_workers(
+            self._build_workers_setting,
+            n_worlds,
+            n_items=n_worlds * len(self._candidate_indices) * self.n,
         )
-        # Activation-time store D[r, c, v] behind the backend interface.
-        # The pool shards the sparse backend's per-world BFS builds.
-        self._backend = make_backend(
-            backend,
-            self.worlds,
-            self._candidate_indices,
-            self.n,
-            backend_options,
-            pool=self._pool(),
-        )
+        if n_build > 1:
+            try:
+                built = process_build(
+                    graph,
+                    self._candidate_indices,
+                    self.n,
+                    n_worlds,
+                    model,
+                    children,
+                    backend,
+                    n_build,
+                    backend_options,
+                )
+            except ProcessBuildUnavailable as exc:
+                warn_serial_fallback(str(exc))
+        if built is not None:
+            self.worlds: List[LiveEdgeWorld] = built.worlds
+            self._backend = built.backend
+            self._shared_segments = built.segments
+            self._build_workers_used = n_build
+        else:
+            self._build_workers_used = 1
+            self.worlds = [sampler(graph, seed=child) for child in children]
+            # Activation-time store D[r, c, v] behind the backend
+            # interface.  The pool shards the sparse backend's
+            # per-world BFS builds.
+            self._backend = make_backend(
+                backend,
+                self.worlds,
+                self._candidate_indices,
+                self.n,
+                backend_options,
+                pool=self._pool(),
+            )
         # Group masks as float32 (k, n) for fast masked counting, plus
         # group sizes for normalisation.
         self._masks_bool = assignment.masks(graph)
@@ -247,6 +313,68 @@ class WorldEnsemble:
     def backend_name(self) -> str:
         """Name of the active distance backend (after ``"auto"`` resolution)."""
         return self._backend.name
+
+    # ------------------------------------------------------------------
+    # shared-memory lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def build_workers_used(self) -> int:
+        """Worker processes the construction actually engaged (1 for
+        serial builds, including work-floor skips and fallbacks)."""
+        return self._build_workers_used
+
+    @property
+    def shared_segments(self) -> List[SharedSegment]:
+        """Shared-memory segments backing the distance store (empty for
+        serial builds — the serial store lives on the ordinary heap)."""
+        return list(self._shared_segments)
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has torn this ensemble down."""
+        return self._closed
+
+    def unlink_shared(self) -> None:
+        """Unlink this ensemble's shared-memory segments (idempotent).
+
+        The ensemble — and anything already attached — **stays fully
+        usable**: unlinking removes only the segment *names*, and POSIX
+        frees the memory when the last mapping goes away.  This is what
+        the :class:`repro.api.Session` cache calls on eviction, so an
+        evicted-but-still-held ensemble keeps answering queries while
+        no new process can attach and nothing can leak past process
+        exit.
+        """
+        for segment in self._shared_segments:
+            segment.unlink()
+
+    def close(self) -> None:
+        """Tear down the ensemble's distance store (idempotent).
+
+        Drops the backend (releasing its views into shared memory) and
+        unlinks + unmaps every shared segment.  After ``close`` the
+        ensemble must not be queried.  Serial builds close too — the
+        heap store is simply dropped for the GC.  Ensembles also work
+        as context managers::
+
+            with WorldEnsemble(graph, groups, build_workers=4) as ens:
+                ...
+        """
+        if self._closed:
+            return
+        self._closed = True
+        # Release the store's buffer exports before unmapping, so the
+        # segments' close() doesn't have to defer to view finalizers.
+        self._backend = None
+        for segment in self._shared_segments:
+            segment.close()
+        self._shared_segments = []
+
+    def __enter__(self) -> "WorldEnsemble":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     @property
     def workers(self) -> int:

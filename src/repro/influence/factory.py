@@ -35,7 +35,8 @@ from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 from repro.config import execution_defaults
 from repro.errors import EstimationError
 
-#: builder(spec, graph, assignment, *, backend, workers, backend_options)
+#: builder(spec, graph, assignment, *, backend, workers, backend_options,
+#: build_workers)
 EstimatorBuilder = Callable[..., Any]
 
 _BUILDERS: Dict[str, EstimatorBuilder] = {}
@@ -72,6 +73,7 @@ def make_estimator(
     backend: Optional[str] = None,
     workers: Optional[Any] = None,
     backend_options: Optional[Dict[str, Any]] = None,
+    build_workers: Optional[Any] = None,
 ):
     """Build the estimator a spec describes, over a built dataset.
 
@@ -97,6 +99,7 @@ def make_estimator(
         backend=backend,
         workers=workers,
         backend_options=backend_options,
+        build_workers=build_workers,
     )
 
 
@@ -107,6 +110,7 @@ def _build_world_ensemble(
     backend: Optional[str] = None,
     workers: Optional[Any] = None,
     backend_options: Optional[Dict[str, Any]] = None,
+    build_workers: Optional[Any] = None,
 ):
     """The ``"worlds"`` kind: a :class:`WorldEnsemble` per the spec."""
     from repro.influence.ensemble import WorldEnsemble
@@ -124,6 +128,7 @@ def _build_world_ensemble(
         else execution_defaults.get("backend", "auto"),
         backend_options=backend_options,
         workers=workers,
+        build_workers=build_workers,
     )
 
 

@@ -832,13 +832,15 @@ def build_rrset_estimator(
     backend: Optional[str] = None,
     workers=None,
     backend_options=None,
+    build_workers=None,
 ) -> RRSetEstimator:
     """Factory endpoint for ``EnsembleSpec(kind="rrset")``.
 
     Registered with :mod:`repro.influence.factory`; every spec,
     session and CLI path reaches here.  The distance-backend knobs
-    (``backend`` / ``workers`` / ``backend_options``) are accepted for
-    signature compatibility but unused — the RR estimator owns its
+    (``backend`` / ``workers`` / ``backend_options`` /
+    ``build_workers``) are accepted for signature compatibility but
+    unused — the RR estimator owns its
     storage (a reverse CSR plus inverted coverage indices) and its
     sampling is already vectorised.
     """

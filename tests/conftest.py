@@ -6,6 +6,12 @@ evaluation — CI uses it to exercise every tier-1 test threaded.  The
 results must not change: worker counts are a pure speed knob (see
 :mod:`repro.influence.parallel`), so the suite passing identically
 under ``REPRO_WORKERS=2`` is itself a determinism check.
+
+``REPRO_BUILD_WORKERS`` is the same lever for the process-sharded
+world-construction path (:mod:`repro.influence.procbuild`): CI runs a
+leg with ``REPRO_BUILD_WORKERS=2`` and every test must pass
+byte-identically, worlds built in worker processes through shared
+memory.
 """
 
 from __future__ import annotations
@@ -18,12 +24,24 @@ from repro.config import execution_defaults
 from repro.graph.digraph import DiGraph
 from repro.graph.groups import GroupAssignment
 from repro.influence.parallel import check_workers
+from repro.influence.procbuild import check_build_workers
 
 _workers_env = os.environ.get("REPRO_WORKERS")
 if _workers_env:
     execution_defaults.set(
         "workers",
         check_workers(_workers_env if _workers_env == "auto" else int(_workers_env)),
+    )
+
+_build_workers_env = os.environ.get("REPRO_BUILD_WORKERS")
+if _build_workers_env:
+    execution_defaults.set(
+        "build_workers",
+        check_build_workers(
+            _build_workers_env
+            if _build_workers_env == "auto"
+            else int(_build_workers_env)
+        ),
     )
 
 

@@ -285,7 +285,7 @@ class TestExecutionSpecValidation:
     def test_all_fields_optional(self):
         spec = ExecutionSpec()
         assert spec.backend is None and spec.workers is None
-        assert spec.block_size is None
+        assert spec.block_size is None and spec.build_workers is None
 
     def test_shared_validators(self):
         with pytest.raises(ConfigError, match="backend"):
@@ -294,6 +294,26 @@ class TestExecutionSpecValidation:
             ExecutionSpec(workers=0)
         with pytest.raises(ConfigError, match="block_size"):
             ExecutionSpec(block_size=0)
+        with pytest.raises(ConfigError, match="build_workers"):
+            ExecutionSpec(build_workers=0)
+
+    def test_build_workers_error_parity_with_workers(self):
+        # Same phrasing family as check_workers, per the canonical
+        # checkers (only the knob name differs).
+        for bad in (0, -1, 2.5, "fast", True):
+            with pytest.raises(ConfigError) as build_err:
+                ExecutionSpec(build_workers=bad)
+            with pytest.raises(ConfigError) as workers_err:
+                ExecutionSpec(workers=bad)
+            assert str(build_err.value) == str(workers_err.value).replace(
+                "workers", "build_workers"
+            )
+
+    def test_build_workers_round_trips(self):
+        for value in (None, 1, 4, "auto"):
+            spec = ExecutionSpec(build_workers=value)
+            assert spec.to_dict()["build_workers"] == value
+            assert ExecutionSpec.from_dict(spec.to_dict()) == spec
 
 
 class TestFingerprint:
@@ -321,4 +341,12 @@ class TestFingerprint:
         assert tweaked.ensemble is spec.ensemble
         assert tweaked.solver is spec.solver
         assert tweaked.execution.backend == "lazy"
+        assert tweaked.ensemble.fingerprint() == spec.ensemble.fingerprint()
+
+    def test_build_workers_never_touches_the_fingerprint(self):
+        # build_workers is execution-only: two runs differing solely in
+        # it must share a cached ensemble.
+        spec = spec_template()
+        tweaked = spec.with_execution(build_workers=4)
+        assert tweaked.execution.build_workers == 4
         assert tweaked.ensemble.fingerprint() == spec.ensemble.fingerprint()

@@ -90,6 +90,21 @@ class TestParser:
             with pytest.raises(SystemExit):
                 build_parser().parse_args(["run", "fig1", "--workers", bad])
 
+    def test_build_workers_flag(self):
+        assert build_parser().parse_args(["run", "fig1"]).build_workers is None
+        args = build_parser().parse_args(["run", "fig1", "--build-workers", "2"])
+        assert args.build_workers == 2
+        args = build_parser().parse_args(["solve", "-", "--build-workers", "auto"])
+        assert args.build_workers == "auto"
+
+    def test_bad_build_workers_is_a_usage_error(self, capsys):
+        # A usage error (exit 2 + the canonical message), not a traceback.
+        for bad in ("fast", "0", "-2", "2.5"):
+            with pytest.raises(SystemExit) as excinfo:
+                build_parser().parse_args(["run", "fig1", "--build-workers", bad])
+            assert excinfo.value.code == 2
+        assert "build_workers" in capsys.readouterr().err
+
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -163,6 +178,16 @@ class TestSpecSubcommand:
         captured = capsys.readouterr()
         assert "ok" in captured.out
         assert "FAIL" in captured.err and "nope" in captured.err
+
+    def test_validate_flags_bad_build_workers(self, tmp_path, capsys):
+        spec = tiny_spec().to_dict()
+        spec["execution"]["build_workers"] = "fast"
+        bad = tmp_path / "bad_build_workers.json"
+        bad.write_text(json.dumps(spec))
+        assert main(["spec", "validate", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "FAIL" in err and "build_workers" in err
+        assert "Traceback" not in err
 
 
 class TestSolveSubcommand:
