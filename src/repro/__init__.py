@@ -55,7 +55,7 @@ from repro.core import (
     solve_tcim_cover,
     sqrt,
 )
-from repro.graph import DiGraph, GroupAssignment
+from repro.graph import DiGraph, GraphDelta, GroupAssignment
 from repro.graph.generators import (
     barabasi_albert,
     block_model_with_edge_counts,
@@ -88,6 +88,7 @@ __all__ = [
     "__version__",
     # graph
     "DiGraph",
+    "GraphDelta",
     "GroupAssignment",
     "stochastic_block_model",
     "two_block_sbm",

@@ -25,6 +25,7 @@ from repro.api.session import (
     RunResult,
     Session,
     default_session,
+    resolve,
     solve,
     solve_many,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "default_session",
     "solve",
     "solve_many",
+    "resolve",
     "spec_template",
     "dataset_names",
     "register_dataset",

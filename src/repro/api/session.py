@@ -27,8 +27,10 @@ safe and bit-identical to serial runs.
 
 from __future__ import annotations
 
+import json
 import threading
 import time
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
@@ -40,8 +42,9 @@ from repro.api.specs import EnsembleSpec, ExecutionSpec, RunSpec
 from repro.config import execution_defaults
 from repro.core.budget import solve_budget_spec
 from repro.core.cover import solve_cover_spec
-from repro.core.greedy import DEFAULT_BLOCK_SIZE, SelectionTrace
-from repro.errors import ConfigError
+from repro.core.greedy import DEFAULT_BLOCK_SIZE, SelectionTrace, WarmStart
+from repro.errors import ConfigError, EstimationError
+from repro.graph.delta import GraphDelta
 from repro.influence.ensemble import WorldEnsemble
 from repro.influence.factory import make_estimator
 from repro.influence.parallel import (
@@ -97,6 +100,20 @@ class RunResult:
     solve_seconds: float
     trace: SelectionTrace = field(repr=False)
     solution: Any = field(repr=False)
+    #: Set on :meth:`Session.resolve` with a delta: worlds whose
+    #: live-edge draws changed under the mutation (``None`` on plain
+    #: solves; 0 is a real answer — the delta touched no coins).
+    repaired_worlds: Optional[int] = None
+    #: Edge coins re-thresholded during the repair
+    #: (touched edges × worlds); ``None`` on plain solves.
+    resampled_edges: Optional[int] = None
+    #: Whether the CELF heap was seeded from a prior trace (perf-only:
+    #: seeds and gains are bit-identical either way).
+    warm_started: bool = False
+    #: Fingerprints of every delta folded into the ensemble this result
+    #: was estimated on, oldest first — the audit trail that says which
+    #: graph the numbers describe.
+    delta_lineage: Tuple[str, ...] = ()
 
     @property
     def seed_count(self) -> int:
@@ -108,7 +125,7 @@ class RunResult:
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe summary (trace and solution objects excluded)."""
-        return {
+        payload = {
             "problem": self.problem,
             "seeds": [_jsonify_label(s) for s in self.seeds],
             "seed_count": self.seed_count,
@@ -128,6 +145,16 @@ class RunResult:
             },
             "spec": self.spec.to_dict(),
         }
+        if self.delta_lineage or self.repaired_worlds is not None:
+            # Only when there is something incremental to report, so
+            # plain-solve payloads are byte-stable across versions.
+            payload["incremental"] = {
+                "repaired_worlds": self.repaired_worlds,
+                "resampled_edges": self.resampled_edges,
+                "warm_started": self.warm_started,
+                "delta_lineage": list(self.delta_lineage),
+            }
+        return payload
 
     def as_text(self) -> str:
         """Human-readable summary (what ``repro solve`` prints)."""
@@ -159,6 +186,18 @@ class RunResult:
             f"solve {self.solve_seconds:.2f}s   "
             f"evaluations {self.evaluations}   stop: {self.stopped_reason}"
         )
+        if self.repaired_worlds is not None:
+            warm = " (warm-started)" if self.warm_started else ""
+            lines.append(
+                f"  delta: repaired {self.repaired_worlds} worlds, "
+                f"resampled {self.resampled_edges} edge coins, "
+                f"lineage depth {len(self.delta_lineage)}{warm}"
+            )
+        elif self.delta_lineage:
+            lines.append(
+                f"  delta lineage depth {len(self.delta_lineage)} "
+                f"(ensemble repaired by earlier resolves)"
+            )
         return "\n".join(lines)
 
 
@@ -192,6 +231,13 @@ class Session:
         self.max_cached_ensembles = int(max_cached_ensembles)
         self._lock = threading.RLock()
         self._ensembles: "OrderedDict[Tuple, Any]" = OrderedDict()
+        # (cache key, solver fingerprint) -> (first-round gains, repair
+        # epoch, weakref to the estimator they were recorded on).  Warm
+        # starts for `resolve`: the gains seed the CELF heap, the epoch
+        # says which repairs are already folded in, and the weakref
+        # guards against an evicted-and-rebuilt ensemble under the same
+        # key (different worlds would make the bounds meaningless).
+        self._warm_traces: Dict[Tuple, Tuple[np.ndarray, int, Any]] = {}
         self.cache_hits = 0
         self.cache_misses = 0
 
@@ -264,9 +310,16 @@ class Session:
                 return existing
             self._ensembles[key] = estimator
             while len(self._ensembles) > self.max_cached_ensembles:
-                _, evicted = self._ensembles.popitem(last=False)
+                evicted_key, evicted = self._ensembles.popitem(last=False)
                 self._release(evicted)
+                self._prune_warm_traces(evicted_key)
             return estimator
+
+    def _prune_warm_traces(self, cache_key: Tuple) -> None:
+        """Drop warm traces recorded against an evicted cache entry
+        (caller holds the lock)."""
+        for trace_key in [k for k in self._warm_traces if k[0] == cache_key]:
+            del self._warm_traces[trace_key]
 
     def clear_cache(self) -> None:
         """Drop every cached ensemble (counters are kept).
@@ -278,6 +331,7 @@ class Session:
             for estimator in self._ensembles.values():
                 self._release(estimator)
             self._ensembles.clear()
+            self._warm_traces.clear()
 
     @property
     def cache_info(self) -> Dict[str, int]:
@@ -301,12 +355,12 @@ class Session:
         are *not* part of the key — they never change results — and are
         pinned per solve instead.
         """
-        estimator, _ = self._ensemble_for(spec, self.resolve_execution(execution))
+        estimator, _, _ = self._ensemble_for(spec, self.resolve_execution(execution))
         return estimator
 
     def _ensemble_for(
         self, spec: EnsembleSpec, resolved: ExecutionSpec
-    ) -> Tuple[Any, bool]:
+    ) -> Tuple[Any, bool, Tuple]:
         if not isinstance(spec, EnsembleSpec):
             raise ConfigError(
                 f"expected an EnsembleSpec, got {type(spec).__name__}"
@@ -314,7 +368,7 @@ class Session:
         key = ("spec", spec.fingerprint(), resolved.backend)
         cached = self._cache_get(key)
         if cached is not None:
-            return cached, True
+            return cached, True, key
         graph, assignment = build_dataset(
             spec.dataset, spec.dataset_params, spec.dataset_seed
         )
@@ -326,7 +380,7 @@ class Session:
             workers=resolved.workers,
             build_workers=resolved.build_workers,
         )
-        return self._cache_put(key, estimator), False
+        return self._cache_put(key, estimator), False, key
 
     def build_ensemble(
         self,
@@ -402,6 +456,71 @@ class Session:
     # ------------------------------------------------------------------
     # solving
     # ------------------------------------------------------------------
+    @staticmethod
+    def _check_spec(spec) -> RunSpec:
+        if isinstance(spec, dict):
+            spec = RunSpec.from_dict(spec)
+        if not isinstance(spec, RunSpec):
+            raise ConfigError(f"expected a RunSpec, got {type(spec).__name__}")
+        return spec
+
+    @staticmethod
+    def _solver_fingerprint(spec: RunSpec) -> str:
+        """What a recorded trace may warm: the exact solver request.
+
+        Execution knobs are excluded on purpose — block size and worker
+        count never change gains, so a trace recorded under one setting
+        warms a re-solve under another.
+        """
+        return json.dumps(spec.solver.to_dict(), sort_keys=True)
+
+    def _record_warm_trace(self, key, spec, estimator, trace) -> None:
+        """Remember this solve's first-round gains for later re-solves.
+
+        Recorded per (ensemble cache key, solver fingerprint) with the
+        repair epoch (how many deltas were folded in when the gains
+        were true) and a weakref to the estimator itself, so a trace
+        can never warm a rebuilt ensemble that merely reuses the key.
+        """
+        gains = getattr(trace, "first_round_gains", None)
+        if gains is None or not hasattr(estimator, "repair_log"):
+            return  # plain-greedy trace, or a non-repairable estimator
+        with self._lock:
+            self._warm_traces[(key, self._solver_fingerprint(spec))] = (
+                np.array(gains, dtype=np.float64, copy=True),
+                len(estimator.repair_log),
+                weakref.ref(estimator),
+            )
+
+    def _warm_start_for(self, key, spec, estimator) -> Optional[WarmStart]:
+        """The :class:`WarmStart` a recorded trace justifies, or None.
+
+        The refresh set is the union of the affected-candidate sets of
+        every repair since the trace was recorded; a repair that could
+        not report its footprint (lazy backend) forces a full refresh,
+        which is still warm in bookkeeping but evaluates like cold.
+        """
+        if spec.solver.method != "celf":
+            return None
+        with self._lock:
+            entry = self._warm_traces.get((key, self._solver_fingerprint(spec)))
+        if entry is None:
+            return None
+        gains, epoch, ref = entry
+        if ref() is not estimator:
+            return None  # evicted and rebuilt under the same key
+        log = estimator.repair_log
+        if epoch > len(log):
+            return None  # recorded on a future the estimator no longer has
+        tail = log[epoch:]
+        if any(affected is None for affected in tail):
+            refresh = None  # unknown footprint: refresh everything
+        elif tail:
+            refresh = np.unique(np.concatenate(tail))
+        else:
+            refresh = np.empty(0, dtype=np.int64)
+        return WarmStart(gains=gains, refresh=refresh)
+
     def solve(self, spec: RunSpec) -> RunResult:
         """Run one declarative request end to end.
 
@@ -410,15 +529,84 @@ class Session:
         equivalent legacy kwarg calls on the same ensemble — the spec
         layer adds no randomness and no arithmetic.
         """
-        if isinstance(spec, dict):
-            spec = RunSpec.from_dict(spec)
-        if not isinstance(spec, RunSpec):
-            raise ConfigError(f"expected a RunSpec, got {type(spec).__name__}")
+        spec = self._check_spec(spec)
         resolved = self.resolve_execution(spec.execution)
 
         started = time.perf_counter()
-        estimator, was_cached = self._ensemble_for(spec.ensemble, resolved)
+        estimator, was_cached, key = self._ensemble_for(spec.ensemble, resolved)
         build_seconds = time.perf_counter() - started
+        return self._execute(
+            spec, resolved, key, estimator, was_cached, build_seconds
+        )
+
+    def resolve(
+        self, spec: RunSpec, delta: Optional[GraphDelta] = None
+    ) -> RunResult:
+        """``solve``, after folding an edge delta into the ensemble.
+
+        With ``delta=None`` this is exactly :meth:`solve`.  With a
+        :class:`~repro.graph.delta.GraphDelta` (or its dict form), the
+        spec's fingerprint-keyed cached ensemble is repaired *in place*
+        — the delta's edges re-flipped with the same keyed coins a
+        from-scratch rebuild would use, distances recomputed only in
+        changed worlds — and the solve runs on the repaired worlds,
+        warm-starting CELF from the last recorded trace for this
+        (ensemble, solver) pair when one exists.  Results are
+        bit-identical to rebuilding the mutated graph cold; only the
+        latency (and the ``evaluations`` counter, under a warm start)
+        differs.  The result echoes ``repaired_worlds`` /
+        ``resampled_edges`` and the full ``delta_lineage``.
+        """
+        spec = self._check_spec(spec)
+        if delta is None:
+            return self.solve(spec)
+        if isinstance(delta, dict):
+            delta = GraphDelta.from_dict(delta)
+        if not isinstance(delta, GraphDelta):
+            raise ConfigError(
+                f"delta must be a GraphDelta, got {type(delta).__name__}"
+            )
+        resolved = self.resolve_execution(spec.execution)
+
+        started = time.perf_counter()
+        estimator, was_cached, key = self._ensemble_for(spec.ensemble, resolved)
+        apply = getattr(estimator, "apply_delta", None)
+        if apply is None:
+            raise EstimationError(
+                f"ensemble kind {spec.ensemble.kind!r} cannot be repaired in "
+                "place — edge deltas require the live-edge world ensemble "
+                "(kind='worlds'); build a fresh estimator for the mutated "
+                "graph instead"
+            )
+        report = apply(delta)
+        build_seconds = time.perf_counter() - started
+
+        warm_start = self._warm_start_for(key, spec, estimator)
+        return self._execute(
+            spec,
+            resolved,
+            key,
+            estimator,
+            was_cached,
+            build_seconds,
+            warm_start=warm_start,
+            repair_report=report,
+        )
+
+    def _execute(
+        self,
+        spec: RunSpec,
+        resolved: ExecutionSpec,
+        key: Tuple,
+        estimator: Any,
+        was_cached: bool,
+        build_seconds: float,
+        warm_start: Optional[WarmStart] = None,
+        repair_report: Any = None,
+    ) -> RunResult:
+        solver_kwargs: Dict[str, Any] = {}
+        if warm_start is not None:
+            solver_kwargs["warm_start"] = warm_start
 
         started = time.perf_counter()
         if spec.solver.problem == "budget":
@@ -427,6 +615,7 @@ class Session:
                 spec.solver,
                 block_size=resolved.block_size,
                 workers=resolved.workers,
+                **solver_kwargs,
             )
         else:
             solution = solve_cover_spec(
@@ -434,8 +623,10 @@ class Session:
                 spec.solver,
                 block_size=resolved.block_size,
                 workers=resolved.workers,
+                **solver_kwargs,
             )
         solve_seconds = time.perf_counter() - started
+        self._record_warm_trace(key, spec, estimator, solution.trace)
 
         solver_echo = spec.solver
         if (
@@ -480,6 +671,17 @@ class Session:
             solve_seconds=solve_seconds,
             trace=solution.trace,
             solution=solution,
+            repaired_worlds=(
+                None if repair_report is None else int(repair_report.repaired_worlds)
+            ),
+            resampled_edges=(
+                None if repair_report is None else int(repair_report.resampled_edges)
+            ),
+            warm_started=warm_start is not None,
+            # Echoed even on plain solves of a previously-repaired
+            # cached ensemble: the lineage names the graph the numbers
+            # are about, not just this call's delta.
+            delta_lineage=tuple(getattr(estimator, "delta_lineage", ()) or ()),
         )
 
     def solve_many(self, specs: Iterable[RunSpec]) -> List[RunResult]:
@@ -513,6 +715,11 @@ def default_session() -> Session:
 def solve(spec: RunSpec) -> RunResult:
     """``default_session().solve(spec)`` — the one-call library entry."""
     return default_session().solve(spec)
+
+
+def resolve(spec: RunSpec, delta: Optional[GraphDelta] = None) -> RunResult:
+    """``default_session().resolve(spec, delta)`` — streaming re-solve."""
+    return default_session().resolve(spec, delta)
 
 
 def solve_many(specs: Iterable[RunSpec]) -> List[RunResult]:

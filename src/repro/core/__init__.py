@@ -38,6 +38,7 @@ from repro.core.greedy import (
     DEFAULT_BLOCK_SIZE,
     SelectionStep,
     SelectionTrace,
+    WarmStart,
     check_block_size,
     get_default_block_size,
     lazy_greedy,
@@ -73,6 +74,7 @@ __all__ = [
     "TruncatedCoverageObjective",
     "SelectionStep",
     "SelectionTrace",
+    "WarmStart",
     "lazy_greedy",
     "plain_greedy",
     "DEFAULT_BLOCK_SIZE",

@@ -23,7 +23,7 @@ from repro.influence.backends import UtilityEstimator
 from repro.influence.parallel import WorkersLike
 from repro.influence.utility import UtilityReport, utility_report
 from repro.core.concave import ConcaveFunction, by_name as _concave_by_name, log1p
-from repro.core.greedy import SelectionTrace, lazy_greedy, plain_greedy
+from repro.core.greedy import SelectionTrace, WarmStart, lazy_greedy, plain_greedy
 from repro.core.objectives import ConcaveSumObjective, TotalInfluenceObjective
 
 
@@ -69,6 +69,7 @@ def _solve(
     discount: Optional[float] = None,
     block_size: Optional[int] = None,
     workers: Optional[WorkersLike] = None,
+    warm_start: Optional[WarmStart] = None,
 ) -> BudgetSolution:
     if budget < 1:
         raise OptimizationError(f"budget must be >= 1, got {budget}")
@@ -83,6 +84,14 @@ def _solve(
         engine = plain_greedy
     else:
         raise OptimizationError(f"method must be 'celf' or 'plain', got {method!r}")
+    kwargs = {}
+    if warm_start is not None:
+        if method != "celf":
+            raise OptimizationError(
+                "warm starts apply to the CELF engine only, not "
+                f"method={method!r}"
+            )
+        kwargs["warm_start"] = warm_start
     trace = engine(
         ensemble,
         objective,
@@ -91,6 +100,7 @@ def _solve(
         discount=discount,
         block_size=block_size,
         workers=workers,
+        **kwargs,
     )
     if trace.size == 0:
         raise OptimizationError(
@@ -127,6 +137,7 @@ def solve_budget_spec(
     spec,
     block_size: Optional[int] = None,
     workers: Optional[WorkersLike] = None,
+    warm_start: Optional[WarmStart] = None,
 ) -> BudgetSolution:
     """Solve a declarative budget request (P1 or P4) on a built estimator.
 
@@ -156,6 +167,7 @@ def solve_budget_spec(
             discount=spec.discount,
             block_size=block_size,
             workers=workers,
+            warm_start=warm_start,
         )
     return solve_tcim_budget(
         ensemble,
@@ -165,6 +177,7 @@ def solve_budget_spec(
         discount=spec.discount,
         block_size=block_size,
         workers=workers,
+        warm_start=warm_start,
     )
 
 
@@ -176,6 +189,7 @@ def solve_tcim_budget(
     discount: Optional[float] = None,
     block_size: Optional[int] = None,
     workers: Optional[WorkersLike] = None,
+    warm_start: Optional[WarmStart] = None,
 ) -> BudgetSolution:
     """Solve P1: maximise total time-critical influence with ``|S| <= B``.
 
@@ -201,6 +215,7 @@ def solve_tcim_budget(
         discount=discount,
         block_size=block_size,
         workers=workers,
+        warm_start=warm_start,
     )
 
 
@@ -214,6 +229,7 @@ def solve_fair_tcim_budget(
     discount: Optional[float] = None,
     block_size: Optional[int] = None,
     workers: Optional[WorkersLike] = None,
+    warm_start: Optional[WarmStart] = None,
 ) -> BudgetSolution:
     """Solve P4: maximise ``sum_i w_i H(f_tau(S; V_i, G))`` with ``|S| <= B``.
 
@@ -238,4 +254,5 @@ def solve_fair_tcim_budget(
         discount=discount,
         block_size=block_size,
         workers=workers,
+        warm_start=warm_start,
     )

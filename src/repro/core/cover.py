@@ -28,7 +28,7 @@ from repro.graph.digraph import NodeId
 from repro.influence.backends import UtilityEstimator
 from repro.influence.parallel import WorkersLike
 from repro.influence.utility import UtilityReport, utility_report
-from repro.core.greedy import SelectionTrace, lazy_greedy, plain_greedy
+from repro.core.greedy import SelectionTrace, WarmStart, lazy_greedy, plain_greedy
 from repro.core.objectives import TotalCoverageObjective, TruncatedCoverageObjective
 
 #: Default relative slack on the quota stop test.
@@ -104,6 +104,7 @@ def solve_cover_spec(
     spec,
     block_size: Optional[int] = None,
     workers: Optional[WorkersLike] = None,
+    warm_start: Optional[WarmStart] = None,
 ) -> CoverSolution:
     """Solve a declarative cover request (P2 or P6) on a built estimator.
 
@@ -129,6 +130,7 @@ def solve_cover_spec(
         method=spec.method,
         block_size=block_size,
         workers=workers,
+        warm_start=warm_start,
     )
 
 
@@ -141,6 +143,7 @@ def solve_tcim_cover(
     method: str = "celf",
     block_size: Optional[int] = None,
     workers: Optional[WorkersLike] = None,
+    warm_start: Optional[WarmStart] = None,
 ) -> CoverSolution:
     """Solve P2: smallest greedy seed set with ``f_tau(S;V,G)/|V| >= Q``.
 
@@ -158,6 +161,7 @@ def solve_tcim_cover(
         return objective.satisfied(group_utilities, slack=slack)
 
     engine = _pick_engine(method)
+    kwargs = _warm_kwargs(method, warm_start)
     trace = engine(
         ensemble,
         objective,
@@ -167,6 +171,7 @@ def solve_tcim_cover(
         require_stop=True,
         block_size=block_size,
         workers=workers,
+        **kwargs,
     )
     return _finalize("TCIM-COVER(P2)", ensemble, trace, deadline, quota)
 
@@ -180,6 +185,7 @@ def solve_fair_tcim_cover(
     method: str = "celf",
     block_size: Optional[int] = None,
     workers: Optional[WorkersLike] = None,
+    warm_start: Optional[WarmStart] = None,
 ) -> CoverSolution:
     """Solve P6: smallest greedy seed set reaching quota ``Q`` in *every*
     group.
@@ -199,6 +205,7 @@ def solve_fair_tcim_cover(
         return objective.satisfied(group_utilities, slack=slack)
 
     engine = _pick_engine(method)
+    kwargs = _warm_kwargs(method, warm_start)
     trace = engine(
         ensemble,
         objective,
@@ -208,6 +215,7 @@ def solve_fair_tcim_cover(
         require_stop=True,
         block_size=block_size,
         workers=workers,
+        **kwargs,
     )
     return _finalize("FAIRTCIM-COVER(P6)", ensemble, trace, deadline, quota)
 
@@ -215,6 +223,16 @@ def solve_fair_tcim_cover(
 def _check_quota(quota: float) -> None:
     if not 0.0 < quota <= 1.0:
         raise OptimizationError(f"quota must be in (0, 1], got {quota}")
+
+
+def _warm_kwargs(method: str, warm_start: Optional[WarmStart]) -> dict:
+    if warm_start is None:
+        return {}
+    if method != "celf":
+        raise OptimizationError(
+            f"warm starts apply to the CELF engine only, not method={method!r}"
+        )
+    return {"warm_start": warm_start}
 
 
 def _pick_engine(method: str):

@@ -157,6 +157,31 @@ def _iter_gain_blocks(
 
 
 @dataclass(frozen=True)
+class WarmStart:
+    """Prior first-round gains to seed a CELF solve with.
+
+    ``gains[c]`` is candidate ``c``'s *empty-state* marginal gain from
+    an earlier solve of the **same** (objective, deadline, discount)
+    problem on the same estimator (a prior trace's
+    :attr:`SelectionTrace.first_round_gains`); ``refresh`` lists the
+    positions whose gains may have changed since — after an
+    incremental ensemble repair, the union of the repair log's
+    affected sets — and ``None`` means "refresh everything" (which
+    degenerates to a cold first round).
+
+    Empty-state gains of candidates whose distance rows did not change
+    are bit-identical before and after a repair (the empty state's
+    utilities are zero regardless of the graph, so the base value
+    cannot drift), which is why a warm CELF run re-evaluates only
+    ``refresh`` yet selects **bit-identical seeds** to a cold run —
+    only the per-step ``evaluations`` counters differ.
+    """
+
+    gains: np.ndarray
+    refresh: Optional[np.ndarray] = None
+
+
+@dataclass(frozen=True)
 class SelectionStep:
     """One greedy iteration: which seed was added and what it bought."""
 
@@ -179,6 +204,12 @@ class SelectionTrace:
 
     steps: List[SelectionStep] = field(default_factory=list)
     stopped_reason: str = ""
+    #: Every candidate's empty-state gain as scored by the first CELF
+    #: round (``None`` when the run never completed one, e.g. a cover
+    #: quota met by the empty set).  Feed it back as a
+    #: :class:`WarmStart` to re-solve after an incremental ensemble
+    #: repair without re-scoring the unaffected candidates.
+    first_round_gains: Optional[np.ndarray] = None
 
     @property
     def seeds(self) -> List[NodeId]:
@@ -222,6 +253,7 @@ def lazy_greedy(
     discount: Optional[float] = None,
     block_size: Optional[int] = None,
     workers: Optional[WorkersLike] = None,
+    warm_start: Optional[WarmStart] = None,
 ) -> SelectionTrace:
     """CELF lazy greedy maximisation.
 
@@ -264,6 +296,13 @@ def lazy_greedy(
         operations and the one BLAS contraction is never split along
         its reduction-order-sensitive axis — see
         :mod:`repro.influence.parallel`).
+    warm_start:
+        Prior first-round gains (see :class:`WarmStart`): only the
+        listed ``refresh`` positions are re-scored in the first round,
+        the rest reuse their recorded gains as initial CELF bounds.
+        Seed sets and per-step gains are bit-identical to a cold run —
+        stale bounds are re-evaluated before selection exactly as
+        always — so only the ``evaluations`` counters change.
 
     Returns the :class:`SelectionTrace`; ``trace.stopped_reason`` is one
     of ``"budget"``, ``"stop-condition"``, ``"no-gain"``,
@@ -279,7 +318,62 @@ def lazy_greedy(
             require_stop,
             discount,
             block_size,
+            warm_start,
         )
+
+
+def _first_round_gains(
+    ensemble: UtilityEstimator,
+    state,
+    objective: Objective,
+    deadline: float,
+    discount: Optional[float],
+    base_value: float,
+    block_size: int,
+    warm_start: Optional[WarmStart],
+) -> Tuple[np.ndarray, int]:
+    """Every candidate's empty-state gain, warm-started when possible.
+
+    Cold: score all candidates through the batched oracle.  Warm: copy
+    the prior gains and re-score only the ``refresh`` positions (in
+    ascending order, through the same oracle — refreshed values are
+    bit-identical to a cold scoring).  Returns the gains and how many
+    evaluations were actually performed.
+    """
+    n = ensemble.n_candidates
+    if warm_start is not None:
+        prior = np.asarray(warm_start.gains, dtype=np.float64)
+        if prior.shape != (n,):
+            raise OptimizationError(
+                f"warm-start gains must have shape ({n},), got {prior.shape}"
+            )
+        if warm_start.refresh is None:
+            refresh = np.arange(n, dtype=np.int64)
+        else:
+            refresh = np.unique(np.asarray(warm_start.refresh, dtype=np.int64))
+            if refresh.size and (refresh[0] < 0 or refresh[-1] >= n):
+                raise OptimizationError(
+                    f"warm-start refresh positions out of range [0, {n}): "
+                    f"{refresh[(refresh < 0) | (refresh >= n)]}"
+                )
+        gains = prior.copy()
+    else:
+        refresh = np.arange(n, dtype=np.int64)
+        gains = np.empty(n, dtype=np.float64)
+    evaluations = 0
+    for position, gain in _iter_gain_blocks(
+        ensemble,
+        state,
+        refresh,
+        objective,
+        deadline,
+        discount,
+        base_value,
+        block_size,
+    ):
+        evaluations += 1
+        gains[position] = gain
+    return gains, evaluations
 
 
 def _lazy_greedy_impl(
@@ -291,6 +385,7 @@ def _lazy_greedy_impl(
     require_stop: bool,
     discount: Optional[float],
     block_size: Optional[int],
+    warm_start: Optional[WarmStart] = None,
 ) -> SelectionTrace:
     _check_arguments(ensemble, max_seeds)
     if block_size is None:
@@ -304,24 +399,27 @@ def _lazy_greedy_impl(
         return trace
 
     # Heap entries: (-gain_upper_bound, position, round_when_scored).
-    # The first round scores every candidate, so it goes through the
-    # batched oracle; CELF re-evaluations after that touch one stale
-    # candidate at a time and stay scalar.
-    heap: List[tuple] = []
+    # The first round scores every candidate (or, warm-started, only
+    # the refreshed ones), so it goes through the batched oracle; CELF
+    # re-evaluations after that touch one stale candidate at a time
+    # and stay scalar.
     round_no = 0
-    evaluations = 0
-    for position, gain in _iter_gain_blocks(
+    gains, evaluations = _first_round_gains(
         ensemble,
         state,
-        range(ensemble.n_candidates),
         objective,
         deadline,
         discount,
         current_value,
         block_size,
-    ):
-        evaluations += 1
-        heapq.heappush(heap, (-gain, position, round_no))
+        warm_start,
+    )
+    trace.first_round_gains = gains.copy()
+    heap: List[tuple] = [
+        (-float(gains[position]), position, round_no)
+        for position in range(ensemble.n_candidates)
+    ]
+    heapq.heapify(heap)
 
     chosen = set()
     while trace.size < max_seeds and heap:

@@ -17,7 +17,10 @@ from repro.diffusion.cascade import CascadeResult
 from repro.diffusion.models import simulate_ic, simulate_lt
 from repro.diffusion.worlds import (
     LiveEdgeWorld,
+    ic_world_key,
+    keyed_edge_uniforms,
     sample_ic_world,
+    sample_ic_world_from_key,
     sample_lt_world,
     sample_worlds,
 )
@@ -27,7 +30,10 @@ __all__ = [
     "simulate_ic",
     "simulate_lt",
     "LiveEdgeWorld",
+    "ic_world_key",
+    "keyed_edge_uniforms",
     "sample_ic_world",
+    "sample_ic_world_from_key",
     "sample_lt_world",
     "sample_worlds",
 ]

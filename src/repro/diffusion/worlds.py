@@ -40,6 +40,16 @@ from repro.rng import RngLike, ensure_rng
 #: above 254 hops is effectively infinite for social graphs.
 UNREACHABLE = 255
 
+# SplitMix64 constants (Steele et al. 2014) for the keyed per-edge
+# coin flips.  All arithmetic is modulo 2**64 on uint64 arrays.
+_SM64_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_SM64_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_SM64_MIX2 = np.uint64(0x94D049BB133111EB)
+
+#: Edge endpoints are packed into one uint64 id as ``(u << 32) | v``,
+#: so node indices must stay below 2**32 for keyed sampling.
+MAX_KEYED_NODES = 2**32
+
 
 @dataclass(frozen=True)
 class LiveEdgeWorld:
@@ -87,12 +97,94 @@ class LiveEdgeWorld:
         return int(self.adjacency.nnz)
 
 
-def sample_ic_world(graph: DiGraph, seed: RngLike = None) -> LiveEdgeWorld:
-    """Sample an IC live-edge world: keep each edge with probability ``p_e``."""
+def ic_world_key(seed: RngLike = None) -> int:
+    """The 64-bit world key a generator (or seed) identifies.
+
+    Derived from the generator's :class:`numpy.random.SeedSequence` —
+    a *pure function* of how the generator was seeded, independent of
+    how many draws it has produced.  That idempotence is what lets the
+    incremental-repair layer recover the key of an already-sampled
+    world from its RNG child at any time, in any process (the
+    process-sharded build pickles children to workers; parent and
+    worker copies share the seed sequence and therefore the key).
+    """
     rng = ensure_rng(seed)
+    seed_seq = getattr(rng.bit_generator, "seed_seq", None) or getattr(
+        rng.bit_generator, "_seed_seq", None
+    )
+    if seed_seq is None:
+        raise EstimationError(
+            "cannot derive a world key: the generator's bit generator "
+            "exposes no seed sequence"
+        )
+    return int(seed_seq.generate_state(1, np.uint64)[0])
+
+
+def edge_codes(src: np.ndarray, dst: np.ndarray, n: int) -> np.ndarray:
+    """Stable uint64 edge ids ``(u << 32) | v`` from index arrays.
+
+    Node indices are append-only in :class:`DiGraph`, so an edge's code
+    never changes across graph mutations — the property the keyed coin
+    flips below rely on.
+    """
+    if n >= MAX_KEYED_NODES:
+        raise EstimationError(
+            f"keyed IC sampling supports up to {MAX_KEYED_NODES} nodes, got {n}"
+        )
+    codes = np.asarray(src, dtype=np.uint64) << np.uint64(32)
+    codes |= np.asarray(dst, dtype=np.uint64)
+    return codes
+
+
+def keyed_edge_uniforms(
+    world_key: int, src: np.ndarray, dst: np.ndarray, n: int
+) -> np.ndarray:
+    """The uniform coin in [0, 1) for each edge in world ``world_key``.
+
+    One SplitMix64 output per ``(world, edge)`` pair: the edge code
+    indexes a counter stream offset by the world key.  The draw is a
+    pure function of ``(world_key, u, v)`` — *not* of the edge's
+    position in any array — so mutating the graph (insert / delete /
+    reweight elsewhere) never changes the coin of an untouched edge,
+    and re-thresholding the same uniform against a new probability is
+    exactly what a from-scratch resample of the mutated graph would do.
+    """
+    codes = edge_codes(src, dst, n)
+    with np.errstate(over="ignore"):
+        z = np.uint64(world_key) + (codes + np.uint64(1)) * _SM64_GAMMA
+        z = (z ^ (z >> np.uint64(30))) * _SM64_MIX1
+        z = (z ^ (z >> np.uint64(27))) * _SM64_MIX2
+        z ^= z >> np.uint64(31)
+    # Top 53 bits -> float64 in [0, 1), the standard construction.
+    return (z >> np.uint64(11)) * (2.0**-53)
+
+
+def sample_ic_world_from_key(graph: DiGraph, world_key: int) -> LiveEdgeWorld:
+    """Sample the IC live-edge world identified by ``world_key``.
+
+    Edge ``(u, v)`` is kept iff its keyed uniform is below ``p_e``, so
+    the world is a pure function of the key and the graph's *edge set*
+    — two graphs holding the same edges (however they were built or
+    mutated into that state) yield bit-identical worlds.
+    """
     src, dst, prob = graph.edge_arrays()
-    keep = rng.random(prob.shape[0]) < prob
+    keep = keyed_edge_uniforms(world_key, src, dst, graph.number_of_nodes()) < prob
     return _world_from_edges(graph.number_of_nodes(), src[keep], dst[keep])
+
+
+def sample_ic_world(graph: DiGraph, seed: RngLike = None) -> LiveEdgeWorld:
+    """Sample an IC live-edge world: keep each edge with probability ``p_e``.
+
+    The coin for edge ``(u, v)`` is keyed by ``(world key, u, v)`` (see
+    :func:`keyed_edge_uniforms`) rather than drawn positionally, which
+    is what makes incremental ensemble repair
+    (:mod:`repro.influence.incremental`) bit-identical to a from-scratch
+    rebuild.  The world key comes from the seed's
+    :class:`~numpy.random.SeedSequence`, so two calls with the *same*
+    generator object return the same world — spawn children (as
+    :func:`sample_worlds` does) for independent worlds.
+    """
+    return sample_ic_world_from_key(graph, ic_world_key(seed))
 
 
 def sample_lt_world(graph: DiGraph, seed: RngLike = None) -> LiveEdgeWorld:

@@ -1,0 +1,218 @@
+"""Batched edge deltas: the streaming-mutation unit of the graph layer.
+
+Real deployments see the network *change* between solves — ties form,
+decay, and disappear.  A :class:`GraphDelta` captures one batch of such
+changes (edge inserts, removes, reweights) as an immutable value with a
+JSON round-trip and a content fingerprint, so a mutation can be
+validated up front, applied atomically, logged as lineage, and replayed
+against the incremental-repair layer
+(:mod:`repro.influence.incremental`).
+
+Deltas operate on the *edge* set only.  All endpoints must already be
+nodes of the target graph: appending nodes would change the candidate
+universe and the distance-store geometry, which is a rebuild, not a
+repair.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph, NodeId, _check_probability
+
+
+def _as_label_pair(entry: Any, what: str) -> Tuple[NodeId, NodeId]:
+    try:
+        u, v = entry
+    except (TypeError, ValueError):
+        raise GraphError(
+            f"each {what} must be a (u, v) pair, got {entry!r}"
+        ) from None
+    if u == v:
+        raise GraphError(f"self-loop on node {u!r} is not allowed in a delta")
+    return u, v
+
+
+def _as_weighted(entry: Any, what: str, allow_none: bool):
+    try:
+        u, v, p = entry
+    except (TypeError, ValueError):
+        raise GraphError(
+            f"each {what} must be a (u, v, p) triple, got {entry!r}"
+        ) from None
+    if u == v:
+        raise GraphError(f"self-loop on node {u!r} is not allowed in a delta")
+    if p is None:
+        if not allow_none:
+            raise GraphError(f"{what} probability must not be None")
+    else:
+        _check_probability(p)
+        p = float(p)
+    return u, v, p
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """One batch of edge mutations, validated and immutable.
+
+    ``inserts`` are ``(u, v, p)`` triples (``p=None`` means the target
+    graph's ``default_probability``); ``removes`` are ``(u, v)`` pairs;
+    ``reweights`` are ``(u, v, p)`` triples replacing an existing
+    edge's probability.  An edge may appear in at most one operation —
+    a delta is a *set* of changes, not a script, so overlapping
+    operations would be order-ambiguous.
+    """
+
+    inserts: Tuple[Tuple[NodeId, NodeId, Optional[float]], ...] = ()
+    removes: Tuple[Tuple[NodeId, NodeId], ...] = ()
+    reweights: Tuple[Tuple[NodeId, NodeId, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        inserts = tuple(
+            _as_weighted(e, "insert", allow_none=True) for e in self.inserts
+        )
+        removes = tuple(_as_label_pair(e, "remove") for e in self.removes)
+        reweights = tuple(
+            _as_weighted(e, "reweight", allow_none=False) for e in self.reweights
+        )
+        object.__setattr__(self, "inserts", inserts)
+        object.__setattr__(self, "removes", removes)
+        object.__setattr__(self, "reweights", reweights)
+        seen: set = set()
+        for u, v in self.edges():
+            if (u, v) in seen:
+                raise GraphError(
+                    f"edge {u!r} -> {v!r} appears in more than one delta "
+                    "operation; a delta is a set of changes, not a script"
+                )
+            seen.add((u, v))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def edges(self) -> Iterable[Tuple[NodeId, NodeId]]:
+        """Every touched ``(u, v)`` pair, inserts then removes then
+        reweights (each group in declaration order)."""
+        for u, v, _ in self.inserts:
+            yield u, v
+        for u, v in self.removes:
+            yield u, v
+        for u, v, _ in self.reweights:
+            yield u, v
+
+    @property
+    def edge_count(self) -> int:
+        """Total number of operations in the batch."""
+        return len(self.inserts) + len(self.removes) + len(self.reweights)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.edge_count == 0
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "inserts": [[u, v, p] for u, v, p in self.inserts],
+            "removes": [[u, v] for u, v in self.removes],
+            "reweights": [[u, v, p] for u, v, p in self.reweights],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "GraphDelta":
+        if not isinstance(payload, dict):
+            raise GraphError(
+                f"a delta payload must be a JSON object, got "
+                f"{type(payload).__name__}"
+            )
+        unknown = set(payload) - {"inserts", "removes", "reweights"}
+        if unknown:
+            raise GraphError(f"unknown delta fields: {sorted(unknown)}")
+        return cls(
+            inserts=tuple(tuple(e) for e in payload.get("inserts", ())),
+            removes=tuple(tuple(e) for e in payload.get("removes", ())),
+            reweights=tuple(tuple(e) for e in payload.get("reweights", ())),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "GraphDelta":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise GraphError(f"invalid delta JSON: {exc}") from None
+        return cls.from_dict(payload)
+
+    def fingerprint(self) -> str:
+        """sha256 of the canonical JSON form (lineage / cache keying).
+
+        Requires JSON-serialisable node labels (str/int/float/bool),
+        which every bundled dataset uses.
+        """
+        try:
+            canonical = self.to_json()
+        except TypeError:
+            raise GraphError(
+                "delta fingerprints need JSON-serialisable node labels"
+            ) from None
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------
+    # application
+    # ------------------------------------------------------------------
+    def validate_for(self, graph: DiGraph) -> None:
+        """Check every operation against ``graph`` without applying.
+
+        Endpoints must be existing nodes (deltas never add nodes);
+        removed and reweighted edges must exist; inserted edges must
+        not (reweight an existing edge instead — silently overwriting
+        would blur the repair accounting).
+        """
+        missing = sorted(
+            {str(x) for pair in self.edges() for x in pair if x not in graph}
+        )
+        if missing:
+            raise GraphError(
+                f"delta references unknown nodes {missing[:5]!r}; deltas "
+                "mutate edges only — adding nodes requires a rebuild"
+            )
+        for u, v, _ in self.inserts:
+            if graph.has_edge(u, v):
+                raise GraphError(
+                    f"cannot insert existing edge {u!r} -> {v!r}; use a "
+                    "reweight"
+                )
+        for u, v in self.removes:
+            if not graph.has_edge(u, v):
+                raise GraphError(f"cannot remove missing edge {u!r} -> {v!r}")
+        for u, v, _ in self.reweights:
+            if not graph.has_edge(u, v):
+                raise GraphError(f"cannot reweight missing edge {u!r} -> {v!r}")
+
+    def apply_to(self, graph: DiGraph) -> None:
+        """Validate against ``graph``, then apply atomically.
+
+        Validation failures raise :class:`~repro.errors.GraphError`
+        before any mutation, so a rejected delta leaves the graph (and
+        its :attr:`~repro.graph.digraph.DiGraph.version`) untouched.
+        """
+        self.validate_for(graph)
+        for u, v in self.removes:
+            graph.remove_edge(u, v)
+        for u, v, p in self.reweights:
+            graph.add_edge(u, v, p)
+        for u, v, p in self.inserts:
+            graph.add_edge(u, v, p)
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphDelta(inserts={len(self.inserts)}, "
+            f"removes={len(self.removes)}, reweights={len(self.reweights)})"
+        )

@@ -45,6 +45,23 @@ class DiGraph:
         self._succ: List[Dict[int, float]] = []
         self._pred: List[Dict[int, float]] = []
         self._edge_count = 0
+        self._version = 0
+        # (version, matrix) pairs for the forward / reverse CSR exports.
+        self._matrix_cache: Dict[str, Tuple[int, sparse.csr_matrix]] = {}
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter.
+
+        Bumped by every structural change (node/edge addition, edge
+        removal, reweight, group change), so downstream caches —
+        ensembles, RR-set indices, the CSR exports below — can detect
+        that the graph they captured has been mutated under them.
+        """
+        return self._version
+
+    def _bump_version(self) -> None:
+        self._version += 1
 
     # ------------------------------------------------------------------
     # construction
@@ -63,8 +80,10 @@ class DiGraph:
             self._groups.append(group)
             self._succ.append({})
             self._pred.append({})
+            self._bump_version()
         elif group is not None:
             self._groups[idx] = group
+            self._bump_version()
         return idx
 
     def add_edge(self, u: NodeId, v: NodeId, p: Optional[float] = None) -> None:
@@ -84,6 +103,7 @@ class DiGraph:
             self._edge_count += 1
         self._succ[ui][vi] = prob
         self._pred[vi][ui] = prob
+        self._bump_version()
 
     def add_undirected_edge(self, u: NodeId, v: NodeId, p: Optional[float] = None) -> None:
         """Add both ``u -> v`` and ``v -> u`` with the same probability."""
@@ -97,6 +117,7 @@ class DiGraph:
         del self._succ[ui][vi]
         del self._pred[vi][ui]
         self._edge_count -= 1
+        self._bump_version()
 
     @classmethod
     def from_edges(
@@ -182,6 +203,15 @@ class DiGraph:
 
     def set_group(self, node: NodeId, group: Hashable) -> None:
         self._groups[self._require(node)] = group
+        self._bump_version()
+
+    def apply_delta(self, delta: "GraphDelta") -> None:  # noqa: F821
+        """Apply a batched :class:`~repro.graph.delta.GraphDelta`.
+
+        Validates every operation against the current graph first and
+        applies all-or-nothing; see :meth:`GraphDelta.apply_to`.
+        """
+        delta.apply_to(self)
 
     # ------------------------------------------------------------------
     # index mapping (numerical layers work on dense indices)
@@ -205,17 +235,37 @@ class DiGraph:
     # numerical exports
     # ------------------------------------------------------------------
     def probability_matrix(self) -> sparse.csr_matrix:
-        """Sparse ``n x n`` matrix ``M[i, j] = p`` for edge ``i -> j``."""
+        """Sparse ``n x n`` matrix ``M[i, j] = p`` for edge ``i -> j``.
+
+        Cached on :attr:`version`, so repeated exports of an unmutated
+        graph (every RR-set estimator construction, spectral
+        clustering, ...) rebuild nothing.  Treat the result as
+        read-only — mutating it would poison the cache.
+        """
+        cached = self._matrix_cache.get("forward")
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
         n = len(self._labels)
-        rows: List[int] = []
-        cols: List[int] = []
-        data: List[float] = []
-        for ui, targets in enumerate(self._succ):
-            for vi, prob in targets.items():
-                rows.append(ui)
-                cols.append(vi)
-                data.append(prob)
-        return sparse.csr_matrix((data, (rows, cols)), shape=(n, n))
+        src, dst, prob = self.edge_arrays()
+        matrix = sparse.csr_matrix((prob, (src, dst)), shape=(n, n))
+        self._matrix_cache["forward"] = (self._version, matrix)
+        return matrix
+
+    def reverse_probability_matrix(self) -> sparse.csr_matrix:
+        """The transpose of :meth:`probability_matrix` as CSR.
+
+        Row ``v`` lists ``v``'s in-neighbours and their probabilities —
+        the predecessor layout reverse-reachability samplers walk.
+        Cached on :attr:`version` like the forward export (the
+        ``.T.tocsr()`` conversion is the expensive half); treat as
+        read-only.
+        """
+        cached = self._matrix_cache.get("reverse")
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        matrix = self.probability_matrix().T.tocsr()
+        self._matrix_cache["reverse"] = (self._version, matrix)
+        return matrix
 
     def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Edges as parallel arrays ``(sources, targets, probabilities)``.

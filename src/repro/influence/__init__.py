@@ -63,6 +63,12 @@ from repro.influence.procbuild import (
     resolve_build_workers,
 )
 from repro.influence.exact import exact_group_utilities, exact_utility
+from repro.influence.incremental import (
+    EdgePlan,
+    RepairReport,
+    plan_against,
+    repair_ensemble,
+)
 from repro.influence.factory import (
     estimator_kinds,
     make_estimator,
@@ -117,6 +123,10 @@ __all__ = [
     "simulation_horizon",
     "exact_utility",
     "exact_group_utilities",
+    "EdgePlan",
+    "RepairReport",
+    "plan_against",
+    "repair_ensemble",
     "monte_carlo_utility",
     "monte_carlo_group_utilities",
     "RRCollection",

@@ -309,9 +309,59 @@ class DistanceBackend:
         """
         return None
 
+    def repair_worlds(
+        self,
+        updates: Dict[int, LiveEdgeWorld],
+        candidate_indices: np.ndarray,
+        pool: Optional[WorkerPool] = None,
+    ) -> Optional[np.ndarray]:
+        """Patch the store after worlds ``updates`` changed in place.
+
+        ``updates`` maps world index -> the world's *new*
+        :class:`LiveEdgeWorld` (the repaired live-edge set after a
+        graph delta).  Only those worlds' slices of the store are
+        recomputed — the incremental-repair layer
+        (:mod:`repro.influence.incremental`) guarantees every other
+        world's live-edge set (and hence its distances) is unchanged.
+        With ``pool``, per-world recomputation is sharded across worker
+        threads; results are applied in world order, so the repaired
+        store is bit-identical at any worker count.
+
+        Returns the sorted candidate positions whose rows changed in at
+        least one world (the set a warm-started solver must refresh),
+        or ``None`` when the backend cannot enumerate them without
+        materialising rows it never stored (the lazy store).
+        """
+        raise NotImplementedError
+
     def memory_bytes(self) -> int:
         """Bytes held by the distance store (excludes the sampled worlds)."""
         raise NotImplementedError
+
+
+def _rebuild_sharded(
+    items: Sequence[int],
+    rebuild,
+    pool: Optional[WorkerPool] = None,
+) -> List[tuple]:
+    """Map ``rebuild`` over world indices, optionally pool-sharded.
+
+    ``rebuild`` takes a list of world indices and returns ``(index,
+    result)`` pairs; shards are interleaved round-robin (repair batches
+    are small and per-world cost is even) and results are re-sorted by
+    world index so application order never depends on the worker count.
+    """
+    items = list(items)
+    if pool is None or pool.workers <= 1 or len(items) <= 1:
+        pairs = rebuild(items)
+    else:
+        shards = [items[i :: pool.workers] for i in range(pool.workers)]
+        pairs = [
+            pair
+            for shard in pool.run(rebuild, [s for s in shards if s])
+            for pair in shard
+        ]
+    return sorted(pairs, key=lambda pair: pair[0])
 
 
 class DenseBackend(DistanceBackend):
@@ -436,6 +486,33 @@ class DenseBackend(DistanceBackend):
             codes += world[finite]
             hist += np.bincount(codes, minlength=size)
         return hist.reshape(n_candidates, n_groups, 256)
+
+    def repair_worlds(
+        self,
+        updates: Dict[int, LiveEdgeWorld],
+        candidate_indices: np.ndarray,
+        pool: Optional[WorkerPool] = None,
+    ) -> np.ndarray:
+        if not updates:
+            return np.empty(0, dtype=np.int64)
+        if not self._distances.flags.writeable:
+            # A zero-copy view into the process-sharded build's shared
+            # memory may be read-only; repair proceeds in a private
+            # copy (the segment itself stays pristine for its owner).
+            self._distances = self._distances.copy()
+
+        def rebuild(indices: Sequence[int]):
+            return [
+                (r, updates[r].distances_from(candidate_indices))
+                for r in indices
+            ]
+
+        affected = np.zeros(self._distances.shape[1], dtype=bool)
+        for r, slab in _rebuild_sharded(sorted(updates), rebuild, pool):
+            changed = np.flatnonzero((slab != self._distances[r]).any(axis=1))
+            affected[changed] = True
+            self._distances[r] = slab
+        return np.flatnonzero(affected)
 
     def memory_bytes(self) -> int:
         return int(self._distances.nbytes)
@@ -617,6 +694,31 @@ class SparseBackend(DistanceBackend):
         )
         return hist.reshape(n_candidates, n_groups, 256)
 
+    def repair_worlds(
+        self,
+        updates: Dict[int, LiveEdgeWorld],
+        candidate_indices: np.ndarray,
+        pool: Optional[WorkerPool] = None,
+    ) -> np.ndarray:
+        if not updates:
+            return np.empty(0, dtype=np.int64)
+
+        def rebuild(indices: Sequence[int]):
+            return [
+                (r, _batched_bfs_distances(updates[r], candidate_indices))
+                for r in indices
+            ]
+
+        affected = np.zeros(self._rows[0].shape[0], dtype=bool)
+        for r, mat in _rebuild_sharded(sorted(updates), rebuild, pool):
+            # Both operands come from ``_batched_bfs_distances`` (or the
+            # procbuild equivalent), which never stores explicit zeros,
+            # so sparse ``!=`` sees exactly the semantic differences.
+            diff = (self._rows[r] != mat).tocsr()
+            affected[np.flatnonzero(np.diff(diff.indptr))] = True
+            self._rows[r] = mat
+        return np.flatnonzero(affected)
+
     def memory_bytes(self) -> int:
         return int(
             sum(
@@ -783,6 +885,41 @@ class LazyBackend(DistanceBackend):
         for position in positions:
             np.minimum(view, fetch(int(position))[span], out=view)
         return out
+
+    def repair_worlds(
+        self,
+        updates: Dict[int, LiveEdgeWorld],
+        candidate_indices: np.ndarray,
+        pool: Optional[WorkerPool] = None,
+    ) -> None:
+        if not updates:
+            return None
+        # Swap in the new worlds first: any row rebuilt from here on
+        # (including a cache miss racing this repair) sees the repaired
+        # live-edge sets.
+        for r, world in updates.items():
+            self._worlds[int(r)] = world
+        # Patch the changed worlds' rows of every *cached* entry in
+        # place — a repair touches a handful of worlds, so re-BFSing
+        # just those rows is far cheaper than evicting whole entries
+        # and rebuilding all R worlds on the next hit.
+        with self._cache_lock:
+            cached = list(self._cache.items())
+        items = sorted(int(r) for r in updates)
+        for position, rows in cached:
+            source = [int(self._candidate_indices[position])]
+
+            def rebuild(indices: Sequence[int]):
+                return [
+                    (r, self._worlds[r].distances_from(source)[0])
+                    for r in indices
+                ]
+
+            for r, row in _rebuild_sharded(items, rebuild, pool):
+                rows[r] = row
+        # Uncached candidates were never materialised, so the affected
+        # set cannot be enumerated without defeating the lazy design.
+        return None
 
     @property
     def cache_entries(self) -> int:

@@ -57,14 +57,28 @@ import math
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence
+from typing import (
+    Any,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
 from repro.errors import EstimationError
 from repro.graph.digraph import DiGraph, NodeId
 from repro.graph.groups import GroupAssignment
-from repro.diffusion.worlds import UNREACHABLE, LiveEdgeWorld, sampler_for
+from repro.diffusion.worlds import (
+    UNREACHABLE,
+    LiveEdgeWorld,
+    ic_world_key,
+    sampler_for,
+)
 from repro.influence.backends import (
     DistanceBackend,
     check_backend_name,
@@ -233,6 +247,11 @@ class WorldEnsemble:
         sampler = sampler_for(model)  # validates the model up front
         rng = ensure_rng(seed)
         children = rng.spawn(n_worlds)
+        # Kept so the incremental-repair layer can recover each world's
+        # sampling key at any time: the key is a pure function of a
+        # child's SeedSequence, never of its draw position (see
+        # ``repro.diffusion.worlds.ic_world_key``).
+        self._world_children = children
         self._shared_segments: List[SharedSegment] = []
         self._closed = False
         built = None
@@ -299,6 +318,14 @@ class WorldEnsemble:
         self._empty_gain_table_missing = False
         self._empty_table_lock = threading.Lock()
         self._sweep_code_base: Optional[np.ndarray] = None  # (n,) int64
+        # Streaming-delta bookkeeping: the graph version this store was
+        # built (or last repaired) against, the fingerprints of applied
+        # deltas, and each repair's affected-candidate set (``None`` =
+        # unknown; warm-started solvers must then refresh everything).
+        self._graph_version = graph.version
+        self._world_keys: Optional[List[int]] = None
+        self._delta_lineage: List[str] = []
+        self._repair_log: List[Optional[np.ndarray]] = []
 
     # ------------------------------------------------------------------
     # candidate bookkeeping
@@ -313,6 +340,100 @@ class WorldEnsemble:
     def backend_name(self) -> str:
         """Name of the active distance backend (after ``"auto"`` resolution)."""
         return self._backend.name
+
+    # ------------------------------------------------------------------
+    # streaming deltas: staleness + in-place repair
+    # ------------------------------------------------------------------
+    @property
+    def graph_version(self) -> int:
+        """The graph version the distance store currently matches."""
+        return self._graph_version
+
+    @property
+    def delta_lineage(self) -> Tuple[str, ...]:
+        """Fingerprints of every delta applied through :meth:`apply_delta`,
+        in application order (empty for a pristine build)."""
+        return tuple(self._delta_lineage)
+
+    @property
+    def repair_log(self) -> List[Optional[np.ndarray]]:
+        """Per-repair affected candidate positions (``None`` = unknown).
+
+        One entry per applied delta; entry ``i`` is the sorted array of
+        candidate positions whose distance rows changed under delta
+        ``i``.  Warm-started solvers union a suffix of this log to find
+        which cached gains to refresh.
+        """
+        return list(self._repair_log)
+
+    @property
+    def world_keys(self) -> List[int]:
+        """Each world's 64-bit sampling key (IC ensembles only).
+
+        Recovered idempotently from the per-world RNG children — valid
+        whether the worlds were built serially or by worker processes
+        (workers receive pickled child *copies*; the parent's children
+        are never consumed).
+        """
+        if self.model != "ic":
+            raise EstimationError(
+                f"world keys exist only for the keyed IC sampler, not "
+                f"model {self.model!r}"
+            )
+        if self._world_keys is None:
+            self._world_keys = [
+                ic_world_key(child) for child in self._world_children
+            ]
+        return self._world_keys
+
+    def apply_delta(self, delta) -> "Any":
+        """Apply a :class:`~repro.graph.delta.GraphDelta` to the graph
+        and repair this ensemble in place.
+
+        Re-flips only the touched edges' coins (one keyed draw per
+        (world, edge) pair), swaps the worlds whose live-edge set
+        changed, and recomputes only those worlds' slices of the
+        distance store — after which every query answers exactly as a
+        fresh build on the mutated graph would, bit for bit.  Returns
+        the :class:`~repro.influence.incremental.RepairReport`.
+        """
+        from repro.influence.incremental import repair_ensemble
+
+        return repair_ensemble(self, delta)
+
+    def _note_repair(
+        self, version: int, fingerprint: str, affected: Optional[np.ndarray]
+    ) -> None:
+        """Record a completed repair (called by the incremental layer)."""
+        self._graph_version = version
+        self._delta_lineage.append(fingerprint)
+        self._repair_log.append(
+            None if affected is None else np.asarray(affected, dtype=np.int64)
+        )
+        # The empty-state gain table summarises the distance store;
+        # drop it so the next first-round query rebuilds it from the
+        # repaired store.  (The sweep code base depends only on the
+        # group partition and survives.)
+        with self._empty_table_lock:
+            self._empty_gain_table = None
+            self._empty_gain_table_missing = False
+
+    def _check_fresh(self) -> None:
+        """Refuse to serve estimates for a graph the store doesn't match.
+
+        The graph version advances on every mutation;
+        :meth:`apply_delta` re-synchronises the store and records the
+        new version.  Any other mutation path leaves the sampled worlds
+        describing a graph that no longer exists — a silent source of
+        wrong numbers this guard turns into a loud error.
+        """
+        if self.graph.version != self._graph_version:
+            raise EstimationError(
+                f"stale ensemble: the graph is at version "
+                f"{self.graph.version} but the distance store matches "
+                f"version {self._graph_version}; apply mutations through "
+                "WorldEnsemble.apply_delta (or rebuild the ensemble)"
+            )
 
     # ------------------------------------------------------------------
     # shared-memory lifecycle
@@ -460,6 +581,7 @@ class WorldEnsemble:
     # ------------------------------------------------------------------
     def empty_state(self) -> InfluenceState:
         """State of the empty seed set."""
+        self._check_fresh()
         return InfluenceState(
             best_time=np.full((self.n_worlds, self.n), UNREACHABLE, dtype=np.uint8)
         )
@@ -512,6 +634,7 @@ class WorldEnsemble:
         rebuild — so sweep → add seed → sweep loops never re-bincount
         the whole ``(R, n)`` state.
         """
+        self._check_fresh()
         if position in state.seed_positions:
             raise EstimationError(
                 f"candidate {self.label(position)!r} is already a seed"
@@ -619,6 +742,7 @@ class WorldEnsemble:
         contributes ``gamma**t_v`` instead of 1 (see
         :meth:`_activation_weights`).
         """
+        self._check_fresh()
         cutoff = _clip_deadline(deadline)
         weights = self._activation_weights(state.best_time, cutoff, discount)
         per_world = weights @ self._masks_f  # (R, k)
@@ -632,6 +756,7 @@ class WorldEnsemble:
         discount: Optional[float] = None,
     ) -> np.ndarray:
         """Group utilities of ``seeds(state) + {candidate}`` without mutation."""
+        self._check_fresh()
         cutoff = _clip_deadline(deadline)
         hypothetical = self._backend.min_with(state.best_time, position)
         weights = self._activation_weights(hypothetical, cutoff, discount)
@@ -774,6 +899,7 @@ class WorldEnsemble:
         serial path issues), and the world-mean runs un-sharded on the
         caller thread.  Bit-identical at every worker count.
         """
+        self._check_fresh()
         cutoff = _clip_deadline(deadline)
         positions = np.asarray(positions, dtype=np.int64)
         if positions.ndim != 1:
@@ -941,6 +1067,7 @@ class WorldEnsemble:
         bit-equal to it (the summation order differs); agreement is
         within float32 rounding.
         """
+        self._check_fresh()
         cutoffs = [_clip_deadline(deadline) for deadline in deadlines]
         self._check_discount(discount)
         k = len(self.group_names)
@@ -999,6 +1126,7 @@ class WorldEnsemble:
         ``discount=gamma`` extension, which the old step-model-only
         formula silently ignored.
         """
+        self._check_fresh()
         cutoff = _clip_deadline(deadline)
         weights = self._activation_weights(state.best_time, cutoff, discount)
         per_world = weights @ self._masks_f  # (R, k)

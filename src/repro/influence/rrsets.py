@@ -435,10 +435,15 @@ class RRSetEstimator:
 
         # Reverse CSR: row v lists v's in-neighbours and their edge
         # probabilities — the predecessor matrix the batched BFS walks.
-        reverse = graph.probability_matrix().T.tocsr()
+        # The graph caches it keyed on its version, so several
+        # estimators over one graph share a single build.
+        reverse = graph.reverse_probability_matrix()
         self._rev_indptr = reverse.indptr.astype(np.int64)
         self._rev_indices = reverse.indices.astype(np.int64)
         self._rev_data = np.asarray(reverse.data, dtype=np.float64)
+        # RR samples encode the graph at construction time; serve
+        # nothing once the graph has moved on (see ``_check_fresh``).
+        self._graph_version = graph.version
 
         masks = assignment.masks(graph)
         self._group_index = masks.argmax(axis=0).astype(np.int64)
@@ -482,7 +487,24 @@ class RRSetEstimator:
     def _horizon_key(horizon: Optional[int]) -> int:
         return -1 if horizon is None else int(horizon)
 
+    def _check_fresh(self) -> None:
+        """Refuse to serve estimates for a graph the samples don't match.
+
+        RR sets have no per-edge coin structure to re-threshold (each
+        sample is a sequential reverse BFS whose draw count depends on
+        the edge set), so unlike ``WorldEnsemble`` there is no in-place
+        repair: after a graph mutation, build a fresh estimator.
+        """
+        if self.graph.version != self._graph_version:
+            raise EstimationError(
+                f"stale RR-set estimator: the graph is at version "
+                f"{self.graph.version} but the samples were drawn at "
+                f"version {self._graph_version}; RR indices cannot be "
+                "repaired in place — build a new RRSetEstimator"
+            )
+
     def _index_for(self, deadline: float) -> RRIndex:
+        self._check_fresh()
         horizon = simulation_horizon(deadline)
         key = self._horizon_key(horizon)
         index = self._indices.get(key)
@@ -603,10 +625,12 @@ class RRSetEstimator:
     # ------------------------------------------------------------------
     def empty_state(self) -> RRState:
         """State of the empty seed set."""
+        self._check_fresh()
         return RRState()
 
     def state_for(self, seeds: Iterable[NodeId]) -> RRState:
         """State of an arbitrary seed set (each seed must be a candidate)."""
+        self._check_fresh()
         state = RRState()
         for node in seeds:
             position = self.position(node)

@@ -24,12 +24,13 @@ from repro.core.objectives import ConcaveSumObjective, TotalInfluenceObjective
 
 BACKENDS = ("dense", "sparse", "lazy")
 
-#: Regression pins on the bundled example (n_worlds=120, world seed 5).
-#: If these change, common-random-numbers determinism broke somewhere.
-PINNED_P1_SEEDS = ["a", "b", "r3", "r8"]
-PINNED_P4_SEEDS = ["d", "r7", "b", "r3"]
+#: Regression pins on the bundled example (n_worlds=120, world seed 5),
+#: under the keyed per-(world, edge) IC sampler.  If these change,
+#: common-random-numbers determinism broke somewhere.
+PINNED_P1_SEEDS = ["a", "b", "r8", "r3"]
+PINNED_P4_SEEDS = ["e", "r8", "b", "r3"]
 PINNED_P2_SEEDS = ["a", "b"]
-PINNED_P6_SEEDS = ["a", "r3"]
+PINNED_P6_SEEDS = ["a", "r4"]
 
 
 @pytest.fixture(scope="module")
@@ -122,7 +123,7 @@ class TestPaperScaleSynthetic:
             ).seeds
             for backend, ensemble in sbm_ensembles.items()
         }
-        assert seeds["dense"] == [259, 26, 299, 96, 79]
+        assert seeds["dense"] == [264, 96, 19, 226, 329]
         assert seeds["sparse"] == seeds["dense"]
         assert seeds["lazy"] == seeds["dense"]
 
