@@ -22,8 +22,10 @@ worlds (:mod:`repro.api.session`); datasets are resolved by name
 
 from repro.api.datasets import build_dataset, dataset_names, register_dataset
 from repro.api.session import (
+    DEFAULT_MAX_CACHED_ENSEMBLES,
     RunResult,
     Session,
+    check_cache_bytes,
     default_session,
     resolve,
     solve,
@@ -47,6 +49,8 @@ __all__ = [
     "RunSpec",
     "RunResult",
     "Session",
+    "DEFAULT_MAX_CACHED_ENSEMBLES",
+    "check_cache_bytes",
     "default_session",
     "solve",
     "solve_many",

@@ -61,6 +61,42 @@ from repro.influence.procbuild import (
 DEFAULT_MAX_CACHED_ENSEMBLES = 4
 
 
+def check_cache_bytes(cache_bytes, allow_none: bool = False):
+    """Validate a byte bound for the session's ensemble cache.
+
+    ``None`` (only with ``allow_none``) means unbounded-by-bytes — the
+    entry-count LRU still applies.  The canonical checker every surface
+    shares: :class:`Session`, the service config, and the CLI's
+    ``--cache-bytes`` flag all accept exactly this rule.
+    """
+    if cache_bytes is None:
+        if allow_none:
+            return None
+        raise ConfigError("cache_bytes must be a positive int, got None")
+    if isinstance(cache_bytes, bool) or not isinstance(cache_bytes, int):
+        raise ConfigError(
+            f"cache_bytes must be a positive int, got {cache_bytes!r}"
+        )
+    if cache_bytes < 1:
+        raise ConfigError(f"cache_bytes must be >= 1, got {cache_bytes}")
+    return cache_bytes
+
+
+def _estimator_nbytes(estimator: Any) -> int:
+    """Resident bytes of a cached estimator (0 when unaccountable).
+
+    Estimators expose ``nbytes`` (:attr:`WorldEnsemble.nbytes`,
+    ``RRSetEstimator.nbytes``); anything registered without it falls
+    back to ``memory_bytes`` and then to 0 — unaccounted entries are
+    still evictable by the entry-count LRU.
+    """
+    nbytes = getattr(estimator, "nbytes", None)
+    if nbytes is None:
+        probe = getattr(estimator, "memory_bytes", None)
+        nbytes = probe() if callable(probe) else 0
+    return int(nbytes)
+
+
 def _jsonify_label(label: Any) -> Any:
     """Node labels as JSON scalars (graphs use str/int labels; numpy
     integers sneak in from index round-trips)."""
@@ -215,6 +251,7 @@ class Session:
         self,
         execution: Optional[ExecutionSpec] = None,
         max_cached_ensembles: int = DEFAULT_MAX_CACHED_ENSEMBLES,
+        cache_bytes: Optional[int] = None,
     ) -> None:
         if execution is None:
             execution = ExecutionSpec()
@@ -229,6 +266,13 @@ class Session:
             )
         self.execution = execution
         self.max_cached_ensembles = int(max_cached_ensembles)
+        #: Byte bound on the ensemble cache (``None`` = entry-count LRU
+        #: only).  Enforced on insertion: oldest entries are evicted —
+        #: shared-memory segments unlinked, warm traces pruned, exactly
+        #: as entry-count eviction — until the cache fits.  The newest
+        #: entry always stays (a single over-budget ensemble is served,
+        #: not thrashed); live byte usage is in :attr:`cache_info`.
+        self.cache_bytes = check_cache_bytes(cache_bytes, allow_none=True)
         self._lock = threading.RLock()
         self._ensembles: "OrderedDict[Tuple, Any]" = OrderedDict()
         # (cache key, solver fingerprint) -> (first-round gains, repair
@@ -240,6 +284,8 @@ class Session:
         self._warm_traces: Dict[Tuple, Tuple[np.ndarray, int, Any]] = {}
         self.cache_hits = 0
         self.cache_misses = 0
+        self.cache_builds = 0
+        self.cache_evictions = 0
 
     # ------------------------------------------------------------------
     # config chain
@@ -310,10 +356,29 @@ class Session:
                 return existing
             self._ensembles[key] = estimator
             while len(self._ensembles) > self.max_cached_ensembles:
-                evicted_key, evicted = self._ensembles.popitem(last=False)
-                self._release(evicted)
-                self._prune_warm_traces(evicted_key)
+                self._evict_oldest()
+            if self.cache_bytes is not None:
+                # Recompute live: lazy stores and RR pools grow after
+                # insertion, so stored-at-put sizes would under-count.
+                while (
+                    len(self._ensembles) > 1
+                    and self._cache_nbytes() > self.cache_bytes
+                ):
+                    self._evict_oldest()
             return estimator
+
+    def _cache_nbytes(self) -> int:
+        """Live resident bytes of every cached entry (caller holds the
+        lock; entries are few by construction, so summing is cheap)."""
+        return sum(_estimator_nbytes(e) for e in self._ensembles.values())
+
+    def _evict_oldest(self) -> None:
+        """Drop the LRU entry: unlink its shm segments, prune its warm
+        traces (caller holds the lock)."""
+        evicted_key, evicted = self._ensembles.popitem(last=False)
+        self._release(evicted)
+        self._prune_warm_traces(evicted_key)
+        self.cache_evictions += 1
 
     def _prune_warm_traces(self, cache_key: Tuple) -> None:
         """Drop warm traces recorded against an evicted cache entry
@@ -334,12 +399,22 @@ class Session:
             self._warm_traces.clear()
 
     @property
-    def cache_info(self) -> Dict[str, int]:
+    def cache_info(self) -> Dict[str, Any]:
+        """Cache counters plus live byte accounting.
+
+        ``bytes`` is recomputed from the cached estimators' ``nbytes``
+        on every read (lazy stores grow between solves), so it is what
+        the resident set actually holds, not a stale put-time snapshot.
+        """
         with self._lock:
             return {
                 "hits": self.cache_hits,
                 "misses": self.cache_misses,
+                "builds": self.cache_builds,
+                "evictions": self.cache_evictions,
                 "entries": len(self._ensembles),
+                "bytes": self._cache_nbytes(),
+                "cache_bytes": self.cache_bytes,
             }
 
     def ensemble_for(
@@ -380,6 +455,8 @@ class Session:
             workers=resolved.workers,
             build_workers=resolved.build_workers,
         )
+        with self._lock:
+            self.cache_builds += 1
         return self._cache_put(key, estimator), False, key
 
     def build_ensemble(
@@ -449,6 +526,8 @@ class Session:
             workers=workers,
             build_workers=build_workers,
         )
+        with self._lock:
+            self.cache_builds += 1
         if key is not None:
             ensemble = self._cache_put(key, ensemble)
         return ensemble

@@ -544,6 +544,23 @@ class RunSpec:
             execution=ExecutionSpec.from_dict(data.get("execution", {})),
         )
 
+    def fingerprint(self) -> str:
+        """Stable content hash of the *result-defining* request.
+
+        Covers the ensemble and solver specs only: execution knobs
+        never change seed sets, traces or estimates (the library's
+        determinism contract), so two requests differing only in
+        execution produce bit-identical results and hash identically.
+        This is the single-flight key the solve service dedupes
+        concurrent requests under.
+        """
+        canonical = json.dumps(
+            {"ensemble": self.ensemble.to_dict(), "solver": self.solver.to_dict()},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(("run:" + canonical).encode("utf-8")).hexdigest()
+
     def to_json(self, indent: Optional[int] = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
 

@@ -8,6 +8,7 @@ Usage::
     python -m repro.cli spec init [--problem budget|cover] [--out FILE]
     python -m repro.cli spec validate FILE [FILE ...]
     python -m repro.cli solve SPEC [SPEC ...] [--json] [--delta FILE] [--backend ...] [--workers N|auto] [--block-size N] [--build-workers N|auto]
+    python -m repro.cli serve [--host H] [--port P] [--cache-bytes SIZE] [--threads N] [--max-pending N] [--timeout S] [--backend ...]
 
 ``run`` reproduces the paper's figures/tables; the exit code is
 non-zero when any shape check fails, so it doubles as a reproduction
@@ -24,7 +25,10 @@ sampled worlds, bit-identical to rebuilding the mutated graph from
 scratch.  ``spec init`` emits a runnable template —
 ``repro spec init | repro solve -`` is the zero-to-result pipeline —
 and ``spec validate`` lints spec files without running them (CI lints
-the committed examples this way).
+the committed examples this way).  ``serve`` hosts the same spec layer
+as a long-lived HTTP/JSON service (``POST /v1/solve``) with in-flight
+deduplication, a byte-bounded ensemble cache and streamed selection
+traces; see :mod:`repro.service`.
 
 All numeric flags are validated by the same canonical checkers the
 spec layer uses, so a bad value is an argparse usage error with the
@@ -40,9 +44,15 @@ import sys
 import time
 from typing import List, Optional
 
-from repro.api import RunSpec, Session, ExecutionSpec, spec_template
+from repro.api import (
+    DEFAULT_MAX_CACHED_ENSEMBLES,
+    ExecutionSpec,
+    RunSpec,
+    Session,
+    spec_template,
+)
 from repro.config import execution_defaults
-from repro.errors import EstimationError, OptimizationError, ReproError
+from repro.errors import ConfigError, EstimationError, OptimizationError, ReproError
 from repro.experiments.registry import list_experiments, run_experiment
 from repro.graph.delta import GraphDelta
 from repro.influence.backends import BACKEND_CHOICES
@@ -50,6 +60,13 @@ from repro.influence.parallel import AUTO_WORKERS, check_workers
 from repro.influence.procbuild import AUTO_BUILD_WORKERS, check_build_workers
 from repro.core.greedy import DEFAULT_BLOCK_SIZE, check_block_size
 from repro.rng import check_seed
+from repro.service.config import (
+    DEFAULT_DRAIN_SECONDS,
+    DEFAULT_MAX_PENDING,
+    DEFAULT_PORT,
+    DEFAULT_SOLVER_THREADS,
+    parse_size,
+)
 
 
 def _workers_arg(value: str):
@@ -95,6 +112,62 @@ def _block_size_arg(value: str) -> int:
             else str(exc)
         )
         raise argparse.ArgumentTypeError(message) from None
+
+
+def _size_arg(value: str) -> int:
+    """``--cache-bytes``: the service layer's ``parse_size`` rule
+    (positive int, optional k/m/g suffix)."""
+    try:
+        return parse_size(value)
+    except ConfigError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _port_arg(value: str) -> int:
+    """``--port``: an int in [0, 65535] (0 binds any free port)."""
+    try:
+        port = int(value)
+    except ValueError:
+        port = -1
+    if not 0 <= port <= 65535:
+        raise argparse.ArgumentTypeError(
+            f"port must be an int in [0, 65535], got {value!r}"
+        )
+    return port
+
+
+def _positive_int_arg(name: str):
+    """Argparse type for a strictly positive integer flag."""
+
+    def convert(value: str) -> int:
+        try:
+            number = int(value)
+        except ValueError:
+            number = 0
+        if number < 1:
+            raise argparse.ArgumentTypeError(
+                f"{name} must be a positive int, got {value!r}"
+            )
+        return number
+
+    return convert
+
+
+def _seconds_arg(name: str):
+    """Argparse type for a strictly positive seconds flag."""
+
+    def convert(value: str) -> float:
+        try:
+            number = float(value)
+        except ValueError:
+            number = 0.0
+        if not number > 0:
+            raise argparse.ArgumentTypeError(
+                f"{name} must be a positive number of seconds, got {value!r}"
+            )
+        return number
+
+    return convert
 
 
 def _seed_arg(value: str) -> int:
@@ -179,6 +252,90 @@ def build_parser() -> argparse.ArgumentParser:
         "validate", help="lint spec files against the validators (no solve)"
     )
     validate.add_argument("files", nargs="+", metavar="FILE")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP/JSON solve service (POST /v1/solve)",
+        description=(
+            "Host the declarative spec layer as a long-lived service: "
+            "concurrent identical requests dedup onto one in-flight "
+            "solve, requests sharing an ensemble batch onto one cached "
+            "world build, and POST /v1/solve?stream=1 streams the "
+            "greedy selection trace as NDJSON.  Responses are "
+            "bit-identical to 'repro solve' on the same spec."
+        ),
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=_port_arg,
+        default=DEFAULT_PORT,
+        help=f"TCP port (default: {DEFAULT_PORT}; 0 binds any free port)",
+    )
+    serve.add_argument(
+        "--cache-bytes",
+        type=_size_arg,
+        default=None,
+        metavar="SIZE",
+        help=(
+            "byte bound on the shared ensemble cache — a positive int "
+            "or a k/m/g-suffixed size like 512m; eviction unlinks "
+            "shared-memory segments (default: entry-count LRU only)"
+        ),
+    )
+    serve.add_argument(
+        "--max-ensembles",
+        type=_positive_int_arg("max-ensembles"),
+        default=DEFAULT_MAX_CACHED_ENSEMBLES,
+        metavar="N",
+        help=(
+            "entry-count bound on the ensemble cache "
+            f"(default: {DEFAULT_MAX_CACHED_ENSEMBLES})"
+        ),
+    )
+    serve.add_argument(
+        "--threads",
+        type=_positive_int_arg("threads"),
+        default=DEFAULT_SOLVER_THREADS,
+        metavar="N",
+        help=(
+            "solver threads — concurrent solves on shared ensembles are "
+            f"safe (default: {DEFAULT_SOLVER_THREADS})"
+        ),
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=_positive_int_arg("max-pending"),
+        default=DEFAULT_MAX_PENDING,
+        metavar="N",
+        help=(
+            "bound on concurrently admitted requests; beyond it the "
+            f"service sheds with 429 (default: {DEFAULT_MAX_PENDING})"
+        ),
+    )
+    serve.add_argument(
+        "--timeout",
+        type=_seconds_arg("timeout"),
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-request timeout — waiters get 504 but the shared solve "
+            "continues and warms the cache (default: unbounded)"
+        ),
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=_seconds_arg("drain-timeout"),
+        default=DEFAULT_DRAIN_SECONDS,
+        metavar="SECONDS",
+        help=(
+            "seconds a SIGTERM drain waits for in-flight solves before "
+            f"exiting (default: {DEFAULT_DRAIN_SECONDS:g})"
+        ),
+    )
+    _add_execution_flags(serve)
     return parser
 
 
@@ -315,6 +472,31 @@ def _cmd_solve(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    # Imported here so plain 'list'/'run' invocations never pay for the
+    # asyncio service stack.
+    from repro.service import ServiceConfig, serve as run_service
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        execution=ExecutionSpec(
+            backend=args.backend,
+            workers=args.workers,
+            block_size=args.block_size,
+            build_workers=args.build_workers,
+        ),
+        cache_bytes=args.cache_bytes,
+        max_cached_ensembles=args.max_ensembles,
+        solver_threads=args.threads,
+        max_pending=args.max_pending,
+        request_timeout=args.timeout,
+        drain_seconds=args.drain_timeout,
+    )
+    run_service(config)
+    return 0
+
+
 def _cmd_spec(args) -> int:
     if args.spec_command == "init":
         text = spec_template(problem=args.problem).to_json()
@@ -350,12 +532,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         for experiment_id in list_experiments():
             print(experiment_id)
         return 0
-    if args.command == "run":
-        return _cmd_run(args)
     try:
+        if args.command == "run":
+            # 'run' historically sat outside this handler, so a typo'd
+            # experiment id was a raw traceback; it promises the same
+            # friendly one-liner as the spec-driven paths now.
+            return _cmd_run(args)
         if args.command == "solve":
             return _cmd_solve(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         return _cmd_spec(args)
+    except KeyboardInterrupt:
+        # Ctrl-C on platforms without loop signal handlers; the
+        # conventional 128+SIGINT exit.
+        print("interrupted", file=sys.stderr)
+        return 130
     except ReproError as exc:
         # Spec-driven paths promise friendly failures: configuration
         # and solve errors are messages, not tracebacks.

@@ -44,6 +44,7 @@ from repro.core.greedy import (
     lazy_greedy,
     plain_greedy,
     set_default_block_size,
+    trace_tap,
 )
 from repro.core.metrics import FairnessComparison, compare_solutions
 from repro.core.objectives import (
@@ -75,6 +76,7 @@ __all__ = [
     "SelectionStep",
     "SelectionTrace",
     "WarmStart",
+    "trace_tap",
     "lazy_greedy",
     "plain_greedy",
     "DEFAULT_BLOCK_SIZE",

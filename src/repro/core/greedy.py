@@ -36,7 +36,9 @@ lowest candidate position, so runs are exactly reproducible.
 from __future__ import annotations
 
 import heapq
+import threading
 import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
@@ -234,6 +236,44 @@ class SelectionTrace:
     @property
     def total_evaluations(self) -> int:
         return sum(step.evaluations for step in self.steps)
+
+
+# Per-thread observer stack for streaming traces: a tap registered on
+# the solving thread sees every SelectionStep the instant the engine
+# records it.  Thread-local on purpose — concurrent solves (the solve
+# service runs many per process) each stream their own steps, and a
+# solve with no tap pays one attribute probe per step.
+_step_taps = threading.local()
+
+
+@contextmanager
+def trace_tap(callback: Callable[[SelectionStep], None]):
+    """Observe the calling thread's greedy steps as they happen.
+
+    Every :class:`SelectionStep` appended to a trace by an engine
+    running on this thread is passed to ``callback`` immediately after
+    it is recorded — the hook the solve service streams NDJSON traces
+    from.  Purely observational: the engines' arithmetic, tie-breaking
+    and traces are untouched, so tapped solves stay bit-identical to
+    untapped ones.  Taps nest (innermost registered first) and must not
+    raise — an exception aborts the solve like any estimator error.
+    """
+    stack = getattr(_step_taps, "stack", None)
+    if stack is None:
+        stack = _step_taps.stack = []
+    stack.append(callback)
+    try:
+        yield
+    finally:
+        stack.pop()
+
+
+def _notify_step(step: SelectionStep) -> None:
+    """Fan one recorded step out to the calling thread's taps."""
+    stack = getattr(_step_taps, "stack", None)
+    if stack:
+        for callback in tuple(stack):
+            callback(step)
 
 
 def _check_arguments(ensemble: UtilityEstimator, max_seeds: int) -> None:
@@ -442,16 +482,16 @@ def _lazy_greedy_impl(
         utilities = ensemble.group_utilities(state, deadline, discount)
         current_value = objective.value(utilities)
         round_no += 1
-        trace.steps.append(
-            SelectionStep(
-                node=ensemble.label(position),
-                position=position,
-                objective_value=current_value,
-                gain=gain,
-                group_utilities=utilities,
-                evaluations=evaluations,
-            )
+        step = SelectionStep(
+            node=ensemble.label(position),
+            position=position,
+            objective_value=current_value,
+            gain=gain,
+            group_utilities=utilities,
+            evaluations=evaluations,
         )
+        trace.steps.append(step)
+        _notify_step(step)
         evaluations = 0
         if stop is not None and stop(utilities):
             trace.stopped_reason = "stop-condition"
@@ -553,16 +593,16 @@ def _plain_greedy_impl(
         chosen.add(best_position)
         utilities = ensemble.group_utilities(state, deadline, discount)
         current_value = objective.value(utilities)
-        trace.steps.append(
-            SelectionStep(
-                node=ensemble.label(best_position),
-                position=best_position,
-                objective_value=current_value,
-                gain=best_gain,
-                group_utilities=utilities,
-                evaluations=evaluations,
-            )
+        step = SelectionStep(
+            node=ensemble.label(best_position),
+            position=best_position,
+            objective_value=current_value,
+            gain=best_gain,
+            group_utilities=utilities,
+            evaluations=evaluations,
         )
+        trace.steps.append(step)
+        _notify_step(step)
         if stop is not None and stop(utilities):
             trace.stopped_reason = "stop-condition"
             break

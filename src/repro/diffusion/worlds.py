@@ -58,6 +58,12 @@ class LiveEdgeWorld:
     n: int
     adjacency: sparse.csr_matrix  # boolean-ish CSR of kept edges
 
+    @property
+    def nbytes(self) -> int:
+        """Heap bytes held by this world's kept-edge CSR."""
+        adj = self.adjacency
+        return int(adj.data.nbytes + adj.indices.nbytes + adj.indptr.nbytes)
+
     def distances_from(self, sources: Sequence[int]) -> np.ndarray:
         """Hop distances from each source to every node.
 

@@ -1138,6 +1138,27 @@ class WorldEnsemble:
         """Footprint of the backend's distance store (for reports)."""
         return self._backend.memory_bytes()
 
+    @property
+    def nbytes(self) -> int:
+        """Total resident bytes this ensemble pins: the distance store
+        (dense slab / sparse CSR / lazy LRU cache) plus the sampled
+        worlds' kept-edge CSRs.
+
+        Process-built stores live inside shared-memory segments; those
+        are accounted by *segment size* (what the kernel actually
+        reserves, padding included) instead of the store's logical
+        ``memory_bytes`` so the byte-bounded :class:`repro.api.Session`
+        cache and ``/v1/stats`` report what eviction really frees.
+        Closed ensembles hold nothing.
+        """
+        if self._closed:
+            return 0
+        if self._shared_segments:
+            store = sum(segment.size for segment in self._shared_segments)
+        else:
+            store = self._backend.memory_bytes()
+        return int(store + sum(world.nbytes for world in self.worlds))
+
     def __repr__(self) -> str:
         return (
             f"WorldEnsemble(n={self.n}, worlds={self.n_worlds}, "

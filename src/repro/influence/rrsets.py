@@ -840,6 +840,13 @@ class RRSetEstimator:
         )
         return int(total + sum(i.memory_bytes() for i in self._indices.values()))
 
+    @property
+    def nbytes(self) -> int:
+        """Alias of :meth:`memory_bytes` — what the byte-bounded
+        :class:`repro.api.Session` cache accounts this estimator at.
+        Grows as new deadline horizons lazily sample their pools."""
+        return self.memory_bytes()
+
     def __repr__(self) -> str:
         thetas = {key: index.theta for key, index in sorted(self._indices.items())}
         return (

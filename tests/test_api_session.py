@@ -187,6 +187,137 @@ class TestEnsembleCache:
         assert session.cache_info["entries"] == 0
 
 
+class FakeEstimator:
+    """A cache entry with known size and an observable shm unlink."""
+
+    def __init__(self, nbytes):
+        self.nbytes = nbytes
+        self.unlinked = 0
+
+    def unlink_shared(self):
+        self.unlinked += 1
+
+
+class TestByteBoundedCache:
+    def test_check_cache_bytes_validation(self):
+        from repro.api import check_cache_bytes
+
+        assert check_cache_bytes(1) == 1
+        assert check_cache_bytes(None, allow_none=True) is None
+        for bad in (None, 0, -5, 1.5, True, "1g"):
+            with pytest.raises(ConfigError):
+                check_cache_bytes(bad)
+
+    def test_session_rejects_bad_cache_bytes(self):
+        with pytest.raises(ConfigError, match="cache_bytes"):
+            Session(cache_bytes=0)
+
+    def test_eviction_frees_bytes_and_unlinks_shm(self):
+        session = Session(cache_bytes=100)
+        first, second = FakeEstimator(60), FakeEstimator(60)
+        session._cache_put(("k1",), first)
+        assert session.cache_info["bytes"] == 60
+        session._cache_put(("k2",), second)
+        # 120 > 100: the LRU entry goes, its segments are unlinked.
+        info = session.cache_info
+        assert info["entries"] == 1
+        assert info["bytes"] == 60
+        assert info["evictions"] == 1
+        assert first.unlinked == 1
+        assert second.unlinked == 0
+
+    def test_newest_entry_always_survives(self):
+        # A single entry over the bound stays: evicting the ensemble a
+        # solve is about to use would thrash forever.
+        session = Session(cache_bytes=10)
+        big = FakeEstimator(1000)
+        session._cache_put(("k1",), big)
+        assert session.cache_info["entries"] == 1
+        assert big.unlinked == 0
+
+    def test_byte_bound_on_real_ensembles(self):
+        probe = Session()
+        one = _estimator_bytes(probe.ensemble_for(ensemble_spec()))
+        assert one > 0
+        # Bound the cache below two ensembles: the second build must
+        # evict the first.
+        session = Session(cache_bytes=int(one * 1.5))
+        session.ensemble_for(ensemble_spec(world_seed=1))
+        session.ensemble_for(ensemble_spec(world_seed=2))
+        info = session.cache_info
+        assert info["entries"] == 1
+        assert info["evictions"] == 1
+        assert info["bytes"] <= session.cache_bytes
+
+    def test_nbytes_covers_store_and_worlds(self):
+        ensemble = Session().ensemble_for(ensemble_spec())
+        assert ensemble.nbytes >= ensemble.memory_bytes()
+        assert ensemble.nbytes >= sum(w.nbytes for w in ensemble.worlds)
+        ensemble.close()
+        assert ensemble.nbytes == 0
+
+    def test_cache_builds_counter(self):
+        session = Session()
+        session.ensemble_for(ensemble_spec())
+        session.ensemble_for(ensemble_spec())  # cache hit, no build
+        session.ensemble_for(ensemble_spec(world_seed=99))
+        assert session.cache_info["builds"] == 2
+
+
+def _estimator_bytes(estimator):
+    return estimator.nbytes
+
+
+class TestEvictionRacesInFlightSolves:
+    """LRU/byte eviction must never corrupt a solve it races.
+
+    Eviction drops cache *names* (and unlinks shm segments) while live
+    references keep their mappings — so a thread mid-``solve_many`` on
+    a just-evicted ensemble must still produce bit-identical results.
+    A one-entry session with two alternating ensembles under four
+    threads evicts continuously while every thread is solving.
+    """
+
+    @pytest.mark.parametrize("backend", ["dense", "sparse", "lazy"])
+    def test_concurrent_solve_many_under_thrashing_cache(self, backend):
+        specs = [
+            RunSpec(
+                ensemble=ensemble_spec(world_seed=seed),
+                solver=SolverSpec(problem="budget", deadline=DEADLINE, budget=3),
+                execution=ExecutionSpec(backend=backend),
+            )
+            for seed in (1, 2, 1, 2)
+        ]
+        expected = [
+            (list(r.seeds), r.objective) for r in Session().solve_many(specs)
+        ]
+
+        # cache_bytes=1 with the newest-entry guard means every second
+        # build evicts the other ensemble: maximal thrash.
+        session = Session(max_cached_ensembles=1, cache_bytes=1)
+        outcomes = [None] * 4
+
+        def worker(slot):
+            try:
+                results = session.solve_many(specs)
+                outcomes[slot] = [(list(r.seeds), r.objective) for r in results]
+            except Exception as exc:  # pragma: no cover - the failure path
+                outcomes[slot] = exc
+
+        threads = [
+            threading.Thread(target=worker, args=(slot,)) for slot in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        for outcome in outcomes:
+            assert not isinstance(outcome, Exception), outcome
+            assert outcome == expected
+        assert session.cache_info["evictions"] > 0
+
+
 class TestConfigChain:
     def test_spec_beats_session_beats_process(self):
         session = Session(execution=ExecutionSpec(backend="sparse", block_size=8))

@@ -109,6 +109,50 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_serve_defaults(self):
+        from repro.service.config import (
+            DEFAULT_DRAIN_SECONDS,
+            DEFAULT_MAX_PENDING,
+            DEFAULT_PORT,
+            DEFAULT_SOLVER_THREADS,
+        )
+
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == DEFAULT_PORT
+        assert args.cache_bytes is None
+        assert args.threads == DEFAULT_SOLVER_THREADS
+        assert args.max_pending == DEFAULT_MAX_PENDING
+        assert args.timeout is None
+        assert args.drain_timeout == DEFAULT_DRAIN_SECONDS
+        assert args.backend is None  # shared execution flags ride along
+
+    def test_serve_cache_bytes_accepts_sizes(self):
+        args = build_parser().parse_args(["serve", "--cache-bytes", "512m"])
+        assert args.cache_bytes == 512 << 20
+        args = build_parser().parse_args(["serve", "--cache-bytes", "1024"])
+        assert args.cache_bytes == 1024
+
+    def test_serve_bad_flags_are_usage_errors(self, capsys):
+        bad = [
+            ["serve", "--cache-bytes", "huge"],
+            ["serve", "--cache-bytes", "0"],
+            ["serve", "--port", "70000"],
+            ["serve", "--port", "-1"],
+            ["serve", "--threads", "0"],
+            ["serve", "--max-pending", "nope"],
+            ["serve", "--timeout", "0"],
+            ["serve", "--drain-timeout", "-3"],
+            ["serve", "--workers", "fast"],
+        ]
+        for argv in bad:
+            with pytest.raises(SystemExit) as excinfo:
+                build_parser().parse_args(argv)
+            assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "k/m/g" in err  # the canonical parse_size message surfaced
+
 
 class TestMain:
     def test_list_prints_ids(self, capsys):
@@ -123,9 +167,12 @@ class TestMain:
         assert "CELF" in out
         assert "[PASS]" in out
 
-    def test_run_unknown_experiment(self):
-        with pytest.raises(ConfigError):
-            main(["run", "nope", "--quick"])
+    def test_run_unknown_experiment_is_friendly(self, capsys):
+        # Historically this leaked a raw ConfigError traceback; 'run'
+        # now shares the spec-driven paths' one-line contract.
+        assert main(["run", "nope", "--quick"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
 
 
 def tiny_spec() -> RunSpec:

@@ -54,3 +54,15 @@ def test_audit_campaign_fairness(capsys):
     out = run_example("audit_campaign_fairness", capsys)
     assert "monte carlo" in out
     assert "FAIRTCIM-BUDGET" in out
+
+
+@pytest.mark.slow
+def test_serve_client(capsys):
+    # Starts its own in-process server on an ephemeral port, walks
+    # solve / stream / delta / stats, then drains.
+    out = run_example("serve_client", capsys)
+    assert "started an in-process server" in out
+    assert "stream:" in out and "step 0:" in out
+    assert "after delta" in out
+    assert "hit rate" in out
+    assert "(server drained)" in out
