@@ -1,0 +1,135 @@
+"""Lint the documentation layer (CI leg).
+
+Two promises keep ``docs/`` and ``README.md`` from rotting:
+
+1. **Every fenced ```` ```json ```` block is a valid spec.**  JSON
+   examples in the docs are real documents the validators accept —
+   the same discrimination the CLI uses: a top-level ``"sweep"``
+   section is a :class:`SweepSpec`, a document made of
+   ``inserts``/``removes``/``reweights`` is a :class:`GraphDelta`,
+   anything else must parse as a :class:`RunSpec`.  (JSON snippets
+   that are deliberately *not* specs belong in an untagged or
+   ``jsonc`` fence.)
+2. **Every relative markdown link resolves** — to a file that exists,
+   from the linking file's directory.
+
+Also re-validates the committed ``examples/*.json`` through the same
+classifier, so the README's claim that they are runnable stays true.
+
+Run:  PYTHONPATH=src python scripts/docs_lint.py
+"""
+
+import json
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.api.specs import RunSpec  # noqa: E402
+from repro.errors import ReproError  # noqa: E402
+from repro.graph.delta import GraphDelta  # noqa: E402
+from repro.sweep.spec import SweepSpec, is_sweep_dict  # noqa: E402
+
+FENCE = re.compile(r"^```json\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
+# [text](target) — skipping images and external/anchor-only targets.
+LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+
+_DELTA_KEYS = {"version", "inserts", "removes", "reweights"}
+
+
+def classify_and_validate(data):
+    """Validate a parsed docs JSON document as whichever spec it is."""
+    if is_sweep_dict(data):
+        spec = SweepSpec.from_dict(data)
+        return f"sweep ({spec.cell_count()} cells)"
+    if isinstance(data, dict) and data and set(data) <= _DELTA_KEYS:
+        GraphDelta.from_dict(data)
+        return "delta"
+    RunSpec.from_dict(data)
+    return "run"
+
+
+def doc_files():
+    files = [os.path.join(REPO, "README.md")]
+    docs = os.path.join(REPO, "docs")
+    if os.path.isdir(docs):
+        for name in sorted(os.listdir(docs)):
+            if name.endswith(".md"):
+                files.append(os.path.join(docs, name))
+    return files
+
+
+def lint_file(path):
+    errors = []
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    rel = os.path.relpath(path, REPO)
+
+    for number, match in enumerate(FENCE.finditer(text), start=1):
+        block = match.group(1)
+        line = text[: match.start()].count("\n") + 1
+        try:
+            data = json.loads(block)
+        except json.JSONDecodeError as exc:
+            errors.append(f"{rel}:{line}: json block {number} is not JSON: {exc}")
+            continue
+        try:
+            kind = classify_and_validate(data)
+        except ReproError as exc:
+            errors.append(
+                f"{rel}:{line}: json block {number} is not a valid spec: {exc}"
+            )
+        else:
+            print(f"ok   {rel}:{line} json block ({kind})")
+
+    base = os.path.dirname(path)
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        resolved = os.path.normpath(os.path.join(base, target.split("#", 1)[0]))
+        if not os.path.exists(resolved):
+            line = text[: match.start()].count("\n") + 1
+            errors.append(f"{rel}:{line}: broken link {target!r}")
+    return errors
+
+
+def lint_examples():
+    errors = []
+    examples = os.path.join(REPO, "examples")
+    for name in sorted(os.listdir(examples)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(examples, name)
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                data = json.load(handle)
+            except json.JSONDecodeError as exc:
+                errors.append(f"examples/{name}: not JSON: {exc}")
+                continue
+        try:
+            kind = classify_and_validate(data)
+        except ReproError as exc:
+            errors.append(f"examples/{name}: invalid: {exc}")
+        else:
+            print(f"ok   examples/{name} ({kind})")
+    return errors
+
+
+def main():
+    errors = []
+    for path in doc_files():
+        errors.extend(lint_file(path))
+    errors.extend(lint_examples())
+    if errors:
+        for error in errors:
+            print(f"FAIL {error}", file=sys.stderr)
+        return 1
+    print("docs lint: all good")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -81,8 +81,14 @@ from repro.api import (
     default_session,
     spec_template,
 )
+from repro.sweep import (
+    SweepSpec,
+    run_cell,
+    run_sweep,
+    sweep_template,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -129,4 +135,9 @@ __all__ = [
     "Session",
     "default_session",
     "spec_template",
+    # scenario sweeps
+    "SweepSpec",
+    "run_sweep",
+    "run_cell",
+    "sweep_template",
 ]

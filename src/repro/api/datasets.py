@@ -24,6 +24,12 @@ from repro.datasets.rice import rice_facebook_surrogate
 from repro.datasets.synthetic import synthetic_sbm
 from repro.errors import ConfigError
 from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    barabasi_albert_with_groups,
+    erdos_renyi_with_groups,
+    stochastic_block_model,
+    weighted_block_model,
+)
 from repro.graph.groups import GroupAssignment
 
 #: builder(seed, **params) -> (graph, assignment)
@@ -52,12 +58,39 @@ def _build_facebook_snap(seed: int, **params) -> Tuple[DiGraph, GroupAssignment]
     return facebook_snap_surrogate(seed=seed, **params)
 
 
+def _build_sbm(seed: int, **params) -> Tuple[DiGraph, GroupAssignment]:
+    # The general k-block SBM: block_sizes, within_probability,
+    # across_probability (+ activation_probability, group_names).  The
+    # two-block paper family stays under "synthetic"; this name is the
+    # sweep engine's group-mix / homophily / degree axis at any k.
+    return stochastic_block_model(seed=seed, **params)
+
+
+def _build_weighted_sbm(seed: int, **params) -> Tuple[DiGraph, GroupAssignment]:
+    # Exact per-block-pair edge counts with Chung-Lu hub weights —
+    # the degree-heterogeneity axis (edge_counts rides through JSON as
+    # a nested list; numpy coerces it).
+    return weighted_block_model(seed=seed, **params)
+
+
+def _build_erdos_renyi(seed: int, **params) -> Tuple[DiGraph, GroupAssignment]:
+    return erdos_renyi_with_groups(seed=seed, **params)
+
+
+def _build_barabasi_albert(seed: int, **params) -> Tuple[DiGraph, GroupAssignment]:
+    return barabasi_albert_with_groups(seed=seed, **params)
+
+
 _BUILDERS: Dict[str, DatasetBuilder] = {
     "example": _build_example,
     "synthetic": _build_synthetic,
     "rice": _build_rice,
     "instagram": _build_instagram,
     "facebook_snap": _build_facebook_snap,
+    "sbm": _build_sbm,
+    "weighted_sbm": _build_weighted_sbm,
+    "erdos_renyi": _build_erdos_renyi,
+    "barabasi_albert": _build_barabasi_albert,
 }
 
 

@@ -244,7 +244,10 @@ class Session:
     pinned per solve rather than written anywhere shared.  One session
     per service process (or per tenant/configuration) is the intended
     shape; :func:`default_session` provides the process-default one the
-    experiment helpers build through.
+    experiment helpers build through, and the sweep runner
+    (:func:`repro.sweep.run_sweep`) funnels a whole scenario grid
+    through one session so cells sharing an ensemble fingerprint share
+    one world build.
     """
 
     def __init__(

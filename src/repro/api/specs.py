@@ -593,7 +593,9 @@ def spec_template(problem: str = "budget") -> RunSpec:
         solver = SolverSpec(problem="cover", deadline=20.0, fair=True, quota=0.4)
     else:
         raise ConfigError(
-            f"problem must be one of {PROBLEM_CHOICES}, got {problem!r}"
+            f"problem must be one of {PROBLEM_CHOICES}, got {problem!r} "
+            "(sweep templates come from repro.sweep.sweep_template; the "
+            "JSON reference for every spec kind is docs/SPECS.md)"
         )
     return RunSpec(
         ensemble=EnsembleSpec(

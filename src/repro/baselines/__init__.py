@@ -4,10 +4,14 @@ Traditional influence-maximization practice often skips optimization
 entirely and seeds by structural heuristics.  These baselines calibrate
 the experiment tables: greedy should beat them on total influence, and
 their disparity profiles illustrate that fairness does not come for
-free from naive diversity either.
+free from naive diversity either.  :func:`baseline_seeds` is the named
+registry the spec-driven sweep engine selects methods through.
 """
 
 from repro.baselines.heuristics import (
+    BASELINE_CHOICES,
+    baseline_seeds,
+    check_baseline_name,
     group_proportional_degree_seeds,
     pagerank_seeds,
     random_seeds,
@@ -19,4 +23,7 @@ __all__ = [
     "top_degree_seeds",
     "pagerank_seeds",
     "group_proportional_degree_seeds",
+    "BASELINE_CHOICES",
+    "baseline_seeds",
+    "check_baseline_name",
 ]

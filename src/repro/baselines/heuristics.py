@@ -2,6 +2,11 @@
 
 All functions return a list of ``budget`` node labels drawn from
 ``candidates`` (default: all nodes), deterministically given a seed.
+
+The named registry (:data:`BASELINE_CHOICES` /
+:func:`baseline_seeds`) is what spec-driven callers use — the sweep
+engine names its comparison methods in JSON, so the names here are the
+vocabulary a :class:`repro.sweep.SweepSpec` validates against.
 """
 
 from __future__ import annotations
@@ -10,7 +15,7 @@ from typing import Iterable, List, Optional
 
 import numpy as np
 
-from repro.errors import OptimizationError
+from repro.errors import ConfigError, OptimizationError
 from repro.graph.centrality import pagerank
 from repro.graph.digraph import DiGraph, NodeId
 from repro.graph.groups import GroupAssignment
@@ -116,3 +121,44 @@ def group_proportional_degree_seeds(
         leftovers.sort(key=lambda n: (-graph.out_degree(n), repr(n)))
         chosen.extend(leftovers[: budget - len(chosen)])
     return chosen[:budget]
+
+
+#: Baseline names spec-driven callers (the sweep engine) may request.
+BASELINE_CHOICES = ("random", "degree", "pagerank", "proportional_degree")
+
+
+def check_baseline_name(name: str) -> str:
+    """Validate a baseline method name against the registry."""
+    if name not in BASELINE_CHOICES:
+        raise ConfigError(
+            f"unknown baseline {name!r}; registered baselines: "
+            f"{', '.join(BASELINE_CHOICES)}"
+        )
+    return name
+
+
+def baseline_seeds(
+    name: str,
+    graph: DiGraph,
+    assignment: GroupAssignment,
+    budget: int,
+    candidates: Optional[Iterable[NodeId]] = None,
+    seed: RngLike = None,
+) -> List[NodeId]:
+    """Run the named heuristic — the registry behind spec-driven sweeps.
+
+    ``seed`` only matters for ``"random"``; the structural heuristics
+    are deterministic given the graph.  Every name in
+    :data:`BASELINE_CHOICES` resolves here, so adding a heuristic means
+    adding it to both — a sweep spec naming it then works unchanged.
+    """
+    check_baseline_name(name)
+    if name == "random":
+        return random_seeds(graph, budget, candidates=candidates, seed=seed)
+    if name == "degree":
+        return top_degree_seeds(graph, budget, candidates=candidates)
+    if name == "pagerank":
+        return pagerank_seeds(graph, budget, candidates=candidates)
+    return group_proportional_degree_seeds(
+        graph, assignment, budget, candidates=candidates
+    )

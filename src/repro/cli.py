@@ -5,9 +5,10 @@ Usage::
     python -m repro.cli list
     python -m repro.cli run fig4a [--quick] [--seed N] [--backend auto|dense|sparse|lazy] [--block-size N] [--workers N|auto] [--build-workers N|auto]
     python -m repro.cli run all [--quick]
-    python -m repro.cli spec init [--problem budget|cover] [--out FILE]
+    python -m repro.cli spec init [--problem budget|cover|sweep] [--out FILE]
     python -m repro.cli spec validate FILE [FILE ...]
     python -m repro.cli solve SPEC [SPEC ...] [--json] [--delta FILE] [--backend ...] [--workers N|auto] [--block-size N] [--build-workers N|auto]
+    python -m repro.cli sweep SPEC --out DIR [--cell FINGERPRINT] [--fresh] [--json] [--backend ...]
     python -m repro.cli serve [--host H] [--port P] [--cache-bytes SIZE] [--threads N] [--max-pending N] [--timeout S] [--backend ...]
 
 ``run`` reproduces the paper's figures/tables; the exit code is
@@ -25,7 +26,16 @@ sampled worlds, bit-identical to rebuilding the mutated graph from
 scratch.  ``spec init`` emits a runnable template —
 ``repro spec init | repro solve -`` is the zero-to-result pipeline —
 and ``spec validate`` lints spec files without running them (CI lints
-the committed examples this way).  ``serve`` hosts the same spec layer
+the committed examples this way); both understand run specs *and*
+sweep specs (the JSON reference for either is ``docs/SPECS.md``).
+``sweep`` expands a :class:`repro.sweep.SweepSpec` grid over RunSpec
+fields and runs every cell through one shared-cache session — greedy
+compared against the named baselines per cell, tidy row-per-cell
+``cells.jsonl``/``cells.csv`` output, and a ``rank_shift.json`` report
+of where greedy's advantage collapses.  Re-running into the same
+``--out`` resumes from the finished cells' fingerprints; ``--cell``
+reproduces any single cell in isolation, bit-identically to its
+in-sweep row (timings aside).  ``serve`` hosts the same spec layer
 as a long-lived HTTP/JSON service (``POST /v1/solve``) with in-flight
 deduplication, a byte-bounded ensemble cache and streamed selection
 traces; see :mod:`repro.service`.
@@ -60,6 +70,7 @@ from repro.influence.parallel import AUTO_WORKERS, check_workers
 from repro.influence.procbuild import AUTO_BUILD_WORKERS, check_build_workers
 from repro.core.greedy import DEFAULT_BLOCK_SIZE, check_block_size
 from repro.rng import check_seed
+from repro.sweep import SweepSpec, is_sweep_dict, run_cell, run_sweep, sweep_template
 from repro.service.config import (
     DEFAULT_DRAIN_SECONDS,
     DEFAULT_MAX_PENDING,
@@ -241,17 +252,70 @@ def build_parser() -> argparse.ArgumentParser:
     )
     init.add_argument(
         "--problem",
-        choices=("budget", "cover"),
+        choices=("budget", "cover", "sweep"),
         default="budget",
-        help="template problem family (default: budget)",
+        help=(
+            "template family (default: budget); 'sweep' emits a runnable "
+            "2x2 SweepSpec grid for 'repro sweep'"
+        ),
     )
     init.add_argument(
         "--out", default=None, metavar="FILE", help="write to FILE instead of stdout"
     )
     validate = spec_sub.add_parser(
-        "validate", help="lint spec files against the validators (no solve)"
+        "validate",
+        help=(
+            "lint spec files against the validators (no solve); accepts "
+            "run specs and sweep specs — JSON reference: docs/SPECS.md"
+        ),
     )
     validate.add_argument("files", nargs="+", metavar="FILE")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a SweepSpec grid into a tidy output directory",
+        description=(
+            "Expand a SweepSpec JSON grid over RunSpec fields and run "
+            "every cell through one shared-cache session: greedy vs the "
+            "named baselines per cell, row-per-cell cells.jsonl / "
+            "cells.csv output, and a rank_shift.json report of where "
+            "greedy's advantage collapses.  Re-running into the same "
+            "--out resumes, skipping cells whose fingerprints already "
+            "have rows.  --cell re-runs one cell by fingerprint (an "
+            ">=8-char prefix is enough) and prints its row as JSON — "
+            "bit-identical, timings aside, to the row the full sweep "
+            "wrote.  JSON reference: docs/SPECS.md."
+        ),
+    )
+    sweep.add_argument(
+        "spec", metavar="SPEC", help="SweepSpec JSON file, or '-' for stdin"
+    )
+    sweep.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="output directory (created if needed; reusing one resumes)",
+    )
+    sweep.add_argument(
+        "--cell",
+        default=None,
+        metavar="FINGERPRINT",
+        help=(
+            "run only the cell with this fingerprint (>=8-char prefix) "
+            "and print its row JSON to stdout; --out is not required"
+        ),
+    )
+    sweep.add_argument(
+        "--fresh",
+        action="store_true",
+        help="recompute every cell even if --out already has rows",
+    )
+    sweep.add_argument(
+        "--json",
+        action="store_true",
+        help="print the rank-shift report as JSON instead of a text summary",
+    )
+    _add_execution_flags(sweep)
 
     serve = sub.add_parser(
         "serve",
@@ -391,15 +455,41 @@ def _add_execution_flags(
     )
 
 
-def _read_spec(path: str) -> RunSpec:
+def _read_document(path: str):
+    """Read and JSON-parse a spec file (``-`` for stdin)."""
     if path == "-":
-        return RunSpec.from_json(sys.stdin.read())
+        text = sys.stdin.read()
+    else:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise ReproError(f"cannot read spec {path!r}: {exc}") from None
     try:
-        with open(path, "r", encoding="utf-8") as handle:
-            text = handle.read()
-    except OSError as exc:
-        raise ReproError(f"cannot read spec {path!r}: {exc}") from None
-    return RunSpec.from_json(text)
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"{path}: not valid JSON: {exc}") from None
+
+
+def _read_spec(path: str) -> RunSpec:
+    data = _read_document(path)
+    if is_sweep_dict(data):
+        raise ReproError(
+            f"{path} is a sweep spec; run it with "
+            f"'repro sweep {path} --out DIR' (JSON reference: docs/SPECS.md)"
+        )
+    return RunSpec.from_dict(data)
+
+
+def _read_sweep(path: str) -> SweepSpec:
+    data = _read_document(path)
+    if not is_sweep_dict(data):
+        raise ReproError(
+            f"{path} is a run spec, not a sweep spec; solve it with "
+            f"'repro solve {path}', or add a \"sweep\" section "
+            "(JSON reference: docs/SPECS.md)"
+        )
+    return SweepSpec.from_dict(data)
 
 
 def _cmd_run(args) -> int:
@@ -472,6 +562,67 @@ def _cmd_solve(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    spec = _read_sweep(args.spec)
+    session = Session(
+        execution=ExecutionSpec(
+            backend=args.backend,
+            workers=args.workers,
+            block_size=args.block_size,
+            build_workers=args.build_workers,
+        )
+    )
+    if args.cell is not None:
+        row = run_cell(spec, args.cell, session=session)
+        print(json.dumps(row, indent=2, sort_keys=True))
+        return 0
+    if args.out is None:
+        raise ReproError(
+            "sweep requires --out DIR (or --cell FINGERPRINT to re-run "
+            "one cell)"
+        )
+
+    total = spec.cell_count()
+
+    def progress(cell, row, computed):
+        tag = "cell" if computed else "skip"
+        margin = row.get("greedy_margin")
+        margin_text = "" if margin is None else f" margin={margin:+.4f}"
+        print(
+            f"{tag} {cell.index + 1}/{total} {row['fingerprint'][:12]} "
+            f"winner={row['winner_utility']}{margin_text}",
+            file=sys.stderr,
+        )
+
+    summary = run_sweep(
+        spec, args.out, session=session, resume=not args.fresh, progress=progress
+    )
+    report = summary.report
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"sweep {spec.name!r}: {len(summary.rows)} cells "
+        f"({summary.computed} computed, {summary.skipped} resumed) "
+        f"-> {summary.out_dir}"
+    )
+    print(
+        f"greedy wins {report['greedy_wins']}/{report['cells']} cells on "
+        f"utility (winners: {report['winners']})"
+    )
+    if report["mean_margin"] is not None:
+        print(
+            f"greedy margin over best baseline: "
+            f"mean {report['mean_margin']:+.4f}, min {report['min_margin']:+.4f}"
+        )
+    if report["collapses"]:
+        print(
+            f"rank shifts in {len(report['collapses'])} cell(s) — "
+            "see rank_shift.json"
+        )
+    return 0
+
+
 def _cmd_serve(args) -> int:
     # Imported here so plain 'list'/'run' invocations never pay for the
     # asyncio service stack.
@@ -499,7 +650,10 @@ def _cmd_serve(args) -> int:
 
 def _cmd_spec(args) -> int:
     if args.spec_command == "init":
-        text = spec_template(problem=args.problem).to_json()
+        if args.problem == "sweep":
+            text = sweep_template().to_json()
+        else:
+            text = spec_template(problem=args.problem).to_json()
         if args.out:
             try:
                 with open(args.out, "w", encoding="utf-8") as handle:
@@ -512,16 +666,24 @@ def _cmd_spec(args) -> int:
         else:
             print(text)
         return 0
-    # validate
+    # validate — both spec kinds, discriminated by the "sweep" section.
     failures = 0
     for path in args.files:
         try:
-            _read_spec(path)
+            data = _read_document(path)
+            if is_sweep_dict(data):
+                detail = f"sweep, {SweepSpec.from_dict(data).cell_count()} cells"
+            else:
+                RunSpec.from_dict(data)
+                detail = "run"
         except ReproError as exc:
-            print(f"FAIL {path}: {exc}", file=sys.stderr)
+            print(
+                f"FAIL {path}: {exc} (JSON reference: docs/SPECS.md)",
+                file=sys.stderr,
+            )
             failures += 1
         else:
-            print(f"ok   {path}")
+            print(f"ok   {path} ({detail})")
     return 2 if failures else 0
 
 
@@ -540,6 +702,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_run(args)
         if args.command == "solve":
             return _cmd_solve(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
         if args.command == "serve":
             return _cmd_serve(args)
         return _cmd_spec(args)

@@ -12,10 +12,15 @@ Run from the command line::
 
     python -m repro.cli list
     python -m repro.cli run fig4a
+
+:mod:`repro.experiments.sweeps` restates the figures' one-axis sweeps
+as :class:`repro.sweep.SweepSpec` values (``figure_sweep("fig4b")``)
+for the ``repro sweep`` engine's tabular/rank-shift pathway.
 """
 
 from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
 from repro.experiments.runner import ExperimentResult, ShapeCheck
+from repro.experiments.sweeps import FIGURE_SWEEPS, figure_sweep, figure_sweep_ids
 
 __all__ = [
     "EXPERIMENTS",
@@ -23,4 +28,7 @@ __all__ = [
     "run_experiment",
     "ExperimentResult",
     "ShapeCheck",
+    "FIGURE_SWEEPS",
+    "figure_sweep",
+    "figure_sweep_ids",
 ]

@@ -1,0 +1,138 @@
+"""One-axis scenario sweeps mirroring the paper's figure sweeps.
+
+The figure scripts (:mod:`repro.experiments.fig4_budget`,
+:mod:`repro.experiments.fig5_graph_props`) walk one parameter at a
+time — budget, deadline, group mix — with everything else pinned.
+This module re-states those walks as :class:`repro.sweep.SweepSpec`
+values, which buys the figure methodology the sweep engine's whole
+surface for free: tidy row-per-cell output, baseline comparisons and
+rank-shift reporting, resume, and single-cell bit-identical re-runs
+(``repro sweep``).
+
+Matching the figures' common-random-numbers design, every sweep here
+sets ``derive_seeds=False``: all cells share the base spec's
+``dataset_seed``/``world_seed``, so the axis is the *only* thing that
+varies between cells.  (GraphWorld-style replicated designs with
+per-cell seed draws are the engine's default; these adapters opt out.)
+
+Use :func:`figure_sweep` by id, or dump one to JSON for the CLI::
+
+    python - <<'PY' > fig4b_sweep.json
+    from repro.experiments.sweeps import figure_sweep
+    print(figure_sweep("fig4b").to_json())
+    PY
+    python -m repro.cli sweep fig4b_sweep.json --out out/fig4b
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.api.specs import RunSpec
+from repro.errors import ConfigError
+from repro.sweep.spec import SweepSpec
+
+#: Paper defaults (Section 6.1): n=500, 70:30 groups, p_hom=0.025,
+#: p_het=0.001, p_e=0.05, B=30, tau=20, 200 worlds.
+_BASE = {
+    "ensemble": {
+        "dataset": "synthetic",
+        "dataset_params": {},
+        "n_worlds": 200,
+        "dataset_seed": 0,
+        "world_seed": 1,
+    },
+    "solver": {
+        "problem": "budget",
+        "deadline": 20.0,
+        "fair": True,
+        "budget": 30,
+    },
+}
+
+
+def _base_spec(quick: bool, seed: int) -> RunSpec:
+    data = {
+        "ensemble": dict(_BASE["ensemble"], dataset_seed=seed, world_seed=seed + 1),
+        "solver": dict(_BASE["solver"]),
+    }
+    if quick:
+        data["ensemble"]["n_worlds"] = 60
+    return RunSpec.from_dict(data)
+
+
+def budget_sweep(quick: bool = False, seed: int = 0) -> SweepSpec:
+    """Fig. 4b's axis: budget B in {5..30}, everything else pinned."""
+    return SweepSpec(
+        name="fig4b-budget",
+        base=_base_spec(quick, seed),
+        axes={"solver.budget": [5, 10, 15, 20, 25, 30]},
+        derive_seeds=False,
+        seed=seed,
+    )
+
+
+def deadline_sweep(quick: bool = False, seed: int = 0) -> SweepSpec:
+    """Fig. 4c's axis: deadline tau in {1, 2, 5, 10, 20, inf}.
+
+    ``"inf"`` is the spec layer's JSON spelling of an unbounded
+    deadline (strict JSON has no Infinity literal), so it is also the
+    axis-value spelling here.
+    """
+    return SweepSpec(
+        name="fig4c-deadline",
+        base=_base_spec(quick, seed),
+        axes={"solver.deadline": [1.0, 2.0, 5.0, 10.0, 20.0, "inf"]},
+        derive_seeds=False,
+        seed=seed,
+    )
+
+
+def homophily_sweep(quick: bool = False, seed: int = 0) -> SweepSpec:
+    """Fig. 5c's axis: cliquishness via p_het at fixed p_hom=0.025."""
+    return SweepSpec(
+        name="fig5c-cliquishness",
+        base=_base_spec(quick, seed),
+        axes={"ensemble.dataset_params.p_het": [0.025, 0.015, 0.01, 0.001]},
+        derive_seeds=False,
+        seed=seed,
+    )
+
+
+def group_mix_sweep(quick: bool = False, seed: int = 0) -> SweepSpec:
+    """Fig. 5b's axis: majority fraction in {.55, .60, .70, .80}."""
+    return SweepSpec(
+        name="fig5b-group-mix",
+        base=_base_spec(quick, seed),
+        axes={
+            "ensemble.dataset_params.majority_fraction": [0.55, 0.60, 0.70, 0.80]
+        },
+        derive_seeds=False,
+        seed=seed,
+    )
+
+
+#: figure id -> SweepSpec builder (quick, seed) — the "1-axis sweep"
+#: pathway next to the figure scripts themselves.
+FIGURE_SWEEPS: Dict[str, Callable[..., SweepSpec]] = {
+    "fig4b": budget_sweep,
+    "fig4c": deadline_sweep,
+    "fig5b": group_mix_sweep,
+    "fig5c": homophily_sweep,
+}
+
+
+def figure_sweep_ids() -> Tuple[str, ...]:
+    return tuple(FIGURE_SWEEPS)
+
+
+def figure_sweep(figure_id: str, quick: bool = False, seed: int = 0) -> SweepSpec:
+    """The 1-axis :class:`SweepSpec` mirroring a figure's sweep."""
+    try:
+        builder = FIGURE_SWEEPS[figure_id]
+    except KeyError:
+        raise ConfigError(
+            f"no sweep adapter for {figure_id!r}; available: "
+            f"{', '.join(sorted(FIGURE_SWEEPS))}"
+        ) from None
+    return builder(quick=quick, seed=seed)

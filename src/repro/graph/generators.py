@@ -388,6 +388,65 @@ def barabasi_albert(
     return graph
 
 
+def erdos_renyi_with_groups(
+    n: int,
+    edge_probability: float,
+    group_fractions: Sequence[float] = (0.7, 0.3),
+    activation_probability: float = 0.05,
+    group_names: Optional[Sequence[Hashable]] = None,
+    seed: RngLike = None,
+) -> Tuple[DiGraph, GroupAssignment]:
+    """G(n, p) with a random group partition — a sweepable dataset.
+
+    Groups on an Erdős–Rényi graph are *structureless* (membership is
+    independent of topology), the opposite pole from the SBM's
+    homophily — sweeping between the two shows how much of the fairness
+    gap is wiring versus labeling.  The topology and the partition draw
+    from independent spawned streams, so changing ``group_fractions``
+    never perturbs the sampled edges.
+    """
+    topology_rng, group_rng = ensure_rng(seed).spawn(2)
+    graph = erdos_renyi(
+        n,
+        edge_probability,
+        activation_probability=activation_probability,
+        seed=topology_rng,
+    )
+    assignment = random_groups(
+        graph, group_fractions, group_names=group_names, seed=group_rng
+    )
+    return graph, assignment
+
+
+def barabasi_albert_with_groups(
+    n: int,
+    attachment: int,
+    group_fractions: Sequence[float] = (0.7, 0.3),
+    activation_probability: float = 0.05,
+    group_names: Optional[Sequence[Hashable]] = None,
+    seed: RngLike = None,
+) -> Tuple[DiGraph, GroupAssignment]:
+    """Preferential attachment with a random group partition.
+
+    The heavy-tailed degree pole of the sweepable generator family:
+    influence concentrates on hubs, and whichever group the random
+    partition hands the hubs to dominates — the stress case for the
+    fair objectives.  As in :func:`erdos_renyi_with_groups`, topology
+    and partition use independent spawned streams.
+    """
+    topology_rng, group_rng = ensure_rng(seed).spawn(2)
+    graph = barabasi_albert(
+        n,
+        attachment,
+        activation_probability=activation_probability,
+        seed=topology_rng,
+    )
+    assignment = random_groups(
+        graph, group_fractions, group_names=group_names, seed=group_rng
+    )
+    return graph, assignment
+
+
 def path_graph(n: int, activation_probability: float = 1.0) -> DiGraph:
     """Directed path ``0 -> 1 -> ... -> n-1`` (deadline semantics tests)."""
     if n < 1:

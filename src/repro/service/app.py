@@ -87,7 +87,31 @@ class _Flight:
 
 
 class SolveService:
-    """Request handling on top of one shared :class:`Session`."""
+    """Request handling on top of one shared :class:`Session`.
+
+    Endpoints (all JSON over HTTP/1.1, ``Connection: close``):
+
+    - ``POST /v1/solve`` — body is a :class:`RunSpec` dict; responds
+      200 with :meth:`RunResult.to_dict`.  ``?stream=1`` responds as
+      NDJSON instead: one ``{"event": "step", ...}`` line per greedy
+      selection, then ``{"event": "result", ...}``.  Identical specs
+      in flight dedup onto one solve; responses are bit-identical to
+      ``repro solve`` on the same spec.
+    - ``POST /v1/delta`` — body is ``{"spec": RunSpec, "delta":
+      GraphDelta}``; repairs the spec's cached ensemble in place and
+      solves (warm-started CELF), 200 with the result.  Never deduped;
+      serialised per ensemble.
+    - ``GET /v1/healthz`` — 200 ``{"status": "ok", ...}`` normally,
+      503 ``{"status": "draining", ...}`` once a drain began.
+    - ``GET /v1/stats`` — 200 with counters, dedup/cache-hit rates and
+      the session's cache occupancy (see :meth:`stats`).
+
+    Error contract: malformed requests are 400, solver-level failures
+    422, admission control sheds with 429 (over ``max_pending``) or
+    503 (draining), and ``request_timeout`` expiry is 504 — in every
+    case a JSON body ``{"error": {"status", "message"}}``.  On 429/504
+    the shared solve keeps running and warms the cache for the retry.
+    """
 
     def __init__(
         self, config: ServiceConfig, session: Optional[Session] = None
@@ -205,6 +229,8 @@ class SolveService:
     async def _handle_healthz(
         self, request: Request, writer: asyncio.StreamWriter
     ) -> None:
+        """``GET /v1/healthz``: liveness + config echo; 503 while draining
+        (load balancers stop routing before the listener closes)."""
         payload = {
             "status": "draining" if self._draining else "ok",
             "uptime_seconds": round(time.monotonic() - self._started, 3),
@@ -215,6 +241,8 @@ class SolveService:
     async def _handle_stats(
         self, request: Request, writer: asyncio.StreamWriter
     ) -> None:
+        """``GET /v1/stats``: observability snapshot — request counters,
+        dedup and ensemble-cache hit rates, cache byte occupancy."""
         await send_json(writer, 200, self.stats())
 
     def stats(self) -> Dict[str, Any]:
@@ -263,6 +291,14 @@ class SolveService:
     async def _handle_solve(
         self, request: Request, writer: asyncio.StreamWriter
     ) -> None:
+        """``POST /v1/solve``: body = RunSpec dict -> 200 RunResult dict.
+
+        Concurrent identical specs (same run fingerprint + resolved
+        execution) attach to one in-flight greedy; ``?stream=1``
+        switches the response to an NDJSON selection trace (see
+        :meth:`_stream_flight`).  A 504 abandons only the waiter — the
+        flight finishes and its ensemble stays cached.
+        """
         spec = self._parse_spec(request.json())
         self._admit()
         self.counters["solve_requests"] += 1
@@ -280,6 +316,15 @@ class SolveService:
     async def _handle_delta(
         self, request: Request, writer: asyncio.StreamWriter
     ) -> None:
+        """``POST /v1/delta``: body = {"spec": RunSpec, "delta": GraphDelta}.
+
+        Folds the edge mutations into the spec's cached world ensemble
+        (in-place repair, bit-identical to rebuilding the mutated graph
+        from scratch) and solves with a warm-started CELF heap —
+        ``Session.resolve(spec, delta=...)`` over HTTP.  Responds 200
+        with the RunResult dict, whose ``delta_lineage`` records every
+        delta fingerprint folded into that ensemble so far.
+        """
         data = request.json()
         if not isinstance(data, dict) or "spec" not in data or "delta" not in data:
             raise HttpError(

@@ -1,0 +1,42 @@
+"""Scenario sweep engine: declarative grids over :class:`RunSpec` fields.
+
+``SweepSpec`` declares the grid (see :mod:`repro.sweep.spec`);
+``run_sweep`` executes it into tidy row-per-cell output with baseline
+comparisons and a rank-shift report (see :mod:`repro.sweep.runner`);
+``run_cell`` reproduces any single cell in isolation, bit-identically.
+CLI: ``repro sweep SPEC --out DIR``.  JSON reference: ``docs/SPECS.md``.
+"""
+
+from repro.sweep.runner import (
+    SweepSummary,
+    deterministic_row,
+    rank_shift_report,
+    run_cell,
+    run_sweep,
+    solve_cell,
+    write_csv,
+)
+from repro.sweep.spec import (
+    MAX_CELLS,
+    SweepCell,
+    SweepSpec,
+    apply_overrides,
+    is_sweep_dict,
+    sweep_template,
+)
+
+__all__ = [
+    "SweepSpec",
+    "SweepCell",
+    "MAX_CELLS",
+    "apply_overrides",
+    "is_sweep_dict",
+    "sweep_template",
+    "run_sweep",
+    "run_cell",
+    "solve_cell",
+    "SweepSummary",
+    "deterministic_row",
+    "rank_shift_report",
+    "write_csv",
+]
